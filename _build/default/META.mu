@@ -1,0 +1,54 @@
+package "apps" (
+  directory = "apps"
+  description = ""
+  requires = "fmt mu.core mu.rdma mu.sim"
+  archive(byte) = "apps.cma"
+  archive(native) = "apps.cmxa"
+  plugin(byte) = "apps.cma"
+  plugin(native) = "apps.cmxs"
+)
+package "baselines" (
+  directory = "baselines"
+  description = ""
+  requires = "fmt mu.rdma mu.sim"
+  archive(byte) = "baselines.cma"
+  archive(native) = "baselines.cmxa"
+  plugin(byte) = "baselines.cma"
+  plugin(native) = "baselines.cmxs"
+)
+package "core" (
+  directory = "core"
+  description = ""
+  requires = "fmt logs mu.rdma mu.sim"
+  archive(byte) = "mu.cma"
+  archive(native) = "mu.cmxa"
+  plugin(byte) = "mu.cma"
+  plugin(native) = "mu.cmxs"
+)
+package "rdma" (
+  directory = "rdma"
+  description = ""
+  requires = "fmt logs mu.sim"
+  archive(byte) = "rdma.cma"
+  archive(native) = "rdma.cmxa"
+  plugin(byte) = "rdma.cma"
+  plugin(native) = "rdma.cmxs"
+)
+package "sim" (
+  directory = "sim"
+  description = ""
+  requires = "fmt logs"
+  archive(byte) = "sim.cma"
+  archive(native) = "sim.cmxa"
+  plugin(byte) = "sim.cma"
+  plugin(native) = "sim.cmxs"
+)
+package "workload" (
+  directory = "workload"
+  description = ""
+  requires = "fmt mu.apps mu.baselines mu.core mu.rdma mu.sim"
+  archive(byte) = "workload.cma"
+  archive(native) = "workload.cmxa"
+  plugin(byte) = "workload.cma"
+  plugin(native) = "workload.cmxs"
+)

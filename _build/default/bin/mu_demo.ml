@@ -1,0 +1,207 @@
+(* mu_demo — a command-line front end for the Mu reproduction.
+
+   Subcommands run individual experiments with tunable parameters:
+
+     mu_demo latency    --payload 64 --samples 50000 --attach standalone
+     mu_demo compare    --samples 20000
+     mu_demo failover   --rounds 200
+     mu_demo throughput --batch 32 --outstanding 2 --requests 30000
+     mu_demo detectors
+
+   All experiments are deterministic given --seed. *)
+
+open Cmdliner
+
+let setup_of seed = { Workload.Experiments.seed = Int64.of_int seed; cal = Sim.Calibration.default }
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for the simulation.")
+
+(* -v / -vv install a Logs reporter so the protocol's role changes,
+   permission grants and aborts become visible. *)
+let setup_logs =
+  let setup verbosity =
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level
+      (match verbosity with 0 -> None | 1 -> Some Logs.Info | _ -> Some Logs.Debug)
+  in
+  Term.(
+    const setup
+    $ Arg.(value & opt int 0 & info [ "v"; "verbosity" ] ~docv:"N" ~doc:"0 quiet, 1 info, 2 debug."))
+
+let samples_arg default =
+  Arg.(value & opt int default & info [ "samples" ] ~docv:"N" ~doc:"Number of measured requests.")
+
+let pp_result name s = Fmt.pr "%-28s %a@." name Sim.Stats.Samples.pp_us s
+
+(* --- latency ------------------------------------------------------------- *)
+
+let attach_conv =
+  let parse = function
+    | "standalone" -> Ok Mu.Config.Standalone
+    | "direct" -> Ok Mu.Config.Direct
+    | "handover" -> Ok Mu.Config.Handover
+    | s -> Error (`Msg (Printf.sprintf "unknown attach mode %S" s))
+  in
+  let print ppf = function
+    | Mu.Config.Standalone -> Fmt.string ppf "standalone"
+    | Mu.Config.Direct -> Fmt.string ppf "direct"
+    | Mu.Config.Handover -> Fmt.string ppf "handover"
+  in
+  Arg.conv (parse, print)
+
+let latency_cmd =
+  let run seed samples payload attach =
+    let s =
+      Workload.Experiments.mu_replication_latency (setup_of seed) ~samples ~payload ~attach
+    in
+    pp_result (Printf.sprintf "Mu %dB" payload) s
+  in
+  let payload =
+    Arg.(value & opt int 64 & info [ "payload" ] ~docv:"BYTES" ~doc:"Request payload size.")
+  in
+  let attach =
+    Arg.(
+      value
+      & opt attach_conv Mu.Config.Standalone
+      & info [ "attach" ] ~docv:"MODE" ~doc:"Attach mode: standalone, direct or handover.")
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Measure Mu's replication latency (paper Fig. 3).")
+    Term.(const (fun () -> run) $ setup_logs $ seed_arg $ samples_arg 50_000 $ payload $ attach)
+
+(* --- compare -------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run seed samples =
+    let setup = setup_of seed in
+    pp_result "Mu"
+      (Workload.Experiments.mu_replication_latency setup ~samples ~payload:64
+         ~attach:Mu.Config.Standalone);
+    List.iter
+      (fun (name, system) ->
+        pp_result name
+          (Workload.Experiments.baseline_replication_latency setup ~samples ~system
+             ~payload:64))
+      [ ("Hermes", `Hermes); ("DARE", `Dare); ("APUS", `Apus); ("HovercRaft", `Hovercraft) ]
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare Mu against DARE, APUS, Hermes, HovercRaft (Fig. 4).")
+    Term.(const run $ seed_arg $ samples_arg 20_000)
+
+(* --- failover -------------------------------------------------------------- *)
+
+let failover_cmd =
+  let run seed rounds =
+    let r = Workload.Experiments.failover (setup_of seed) ~rounds in
+    pp_result "total fail-over" r.Workload.Experiments.total;
+    pp_result "  detection" r.Workload.Experiments.detection;
+    pp_result "  permission switch" r.Workload.Experiments.switch;
+    let rng = Sim.Rng.create (Int64.of_int seed) in
+    Fmt.pr "prior systems (modelled): HovercRaft %.1f ms, DARE %.1f ms, Hermes %.1f ms@."
+      (Baselines.Failover_model.sample_us Baselines.Failover_model.hovercraft rng /. 1000.0)
+      (Baselines.Failover_model.sample_us Baselines.Failover_model.dare rng /. 1000.0)
+      (Baselines.Failover_model.sample_us Baselines.Failover_model.hermes rng /. 1000.0)
+  in
+  let rounds =
+    Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Leader failures to inject.")
+  in
+  Cmd.v
+    (Cmd.info "failover" ~doc:"Measure fail-over time across repeated leader failures (Fig. 6).")
+    Term.(const (fun () -> run) $ setup_logs $ seed_arg $ rounds)
+
+(* --- metrics ------------------------------------------------------------------ *)
+
+let metrics_cmd =
+  let run seed =
+    (* A short mixed workload (traffic + one fail-over), then the per-plane
+       counters each replica accumulated. *)
+    let e = Sim.Engine.create ~seed:(Int64.of_int seed) () in
+    let smr =
+      Mu.Smr.create e Sim.Calibration.default Mu.Config.default ~make_app:(fun _ ->
+          Mu.Smr.stateless_app Fun.id)
+    in
+    Mu.Smr.start smr;
+    Sim.Engine.spawn e ~name:"driver" (fun () ->
+        Mu.Smr.wait_live smr;
+        for _ = 1 to 200 do
+          ignore (Mu.Smr.submit smr (Bytes.make 64 'm'))
+        done;
+        let r0 = Mu.Smr.replica smr 0 in
+        Sim.Host.pause r0.Mu.Replica.host;
+        ignore (Mu.Smr.submit smr (Bytes.make 64 'f'));
+        Sim.Host.resume r0.Mu.Replica.host;
+        Sim.Engine.sleep e 5_000_000;
+        for _ = 1 to 200 do
+          ignore (Mu.Smr.submit smr (Bytes.make 64 'm'))
+        done;
+        Sim.Engine.sleep e 2_000_000;
+        Array.iter
+          (fun (r : Mu.Replica.t) ->
+            Fmt.pr "replica %d: %a@." r.Mu.Replica.id Mu.Metrics.pp r.Mu.Replica.metrics)
+          (Mu.Smr.replicas smr);
+        Fmt.pr "cluster:   %a@." Mu.Metrics.pp
+          (Mu.Metrics.total
+             (Array.to_list (Mu.Smr.replicas smr)
+             |> List.map (fun (r : Mu.Replica.t) -> r.Mu.Replica.metrics)));
+        (match Mu.Invariants.check_all (Mu.Smr.replicas smr) with
+        | [] -> Fmt.pr "invariants: all hold@."
+        | vs -> Fmt.pr "invariants: %a@." (Fmt.list Mu.Invariants.pp_violation) vs);
+        Mu.Smr.stop smr;
+        Sim.Engine.halt e);
+    Sim.Engine.run e
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a mixed workload with one fail-over and print per-replica counters.")
+    Term.(const run $ seed_arg)
+
+(* --- throughput ------------------------------------------------------------- *)
+
+let throughput_cmd =
+  let run seed requests batch outstanding =
+    let p =
+      Workload.Experiments.throughput_point (setup_of seed) ~requests ~batch ~outstanding
+    in
+    Fmt.pr "batch=%d outstanding=%d: %.2f ops/us, median %.2f us, p99 %.2f us@." batch
+      outstanding p.Workload.Experiments.ops_per_us
+      (Sim.Stats.ns_to_us p.Workload.Experiments.median_latency_ns)
+      (Sim.Stats.ns_to_us p.Workload.Experiments.p99_latency_ns)
+  in
+  let requests =
+    Arg.(value & opt int 30_000 & info [ "requests" ] ~docv:"N" ~doc:"Requests to commit.")
+  in
+  let batch =
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc:"Requests coalesced per entry.")
+  in
+  let outstanding =
+    Arg.(value & opt int 1 & info [ "outstanding" ] ~docv:"N" ~doc:"Concurrent slots in flight.")
+  in
+  Cmd.v
+    (Cmd.info "throughput" ~doc:"Measure one latency/throughput point (Fig. 7).")
+    Term.(const run $ seed_arg $ requests $ batch $ outstanding)
+
+(* --- detectors --------------------------------------------------------------- *)
+
+let detectors_cmd =
+  let run seed =
+    let rows = Workload.Experiments.ablation_failure_detector (setup_of seed) in
+    Fmt.pr "%-34s %14s %16s@." "detector" "detection (us)" "false positives";
+    List.iter
+      (fun r ->
+        Fmt.pr "%-34s %14.0f %10d in %.0fs@." r.Workload.Experiments.detector
+          r.Workload.Experiments.detection_us r.Workload.Experiments.false_positives
+          r.Workload.Experiments.observation_s)
+      rows
+  in
+  Cmd.v
+    (Cmd.info "detectors"
+       ~doc:"Compare pull-score failure detection against push heartbeats (§5.1).")
+    Term.(const run $ seed_arg)
+
+let () =
+  let doc = "Experiments with Mu: microsecond consensus on a simulated RDMA fabric." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "mu_demo" ~doc)
+          [ latency_cmd; compare_cmd; failover_cmd; throughput_cmd; detectors_cmd; metrics_cmd ]))

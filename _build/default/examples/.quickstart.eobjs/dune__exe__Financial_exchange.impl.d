@@ -1,0 +1,1 @@
+examples/financial_exchange.ml: Apps Bytes Fmt Hashtbl List Mu Option Sim Workload

@@ -1,0 +1,1 @@
+examples/kv_failover.ml: Apps Fmt Int64 List Mu Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/lock_service.ml: Apps Fmt Mu Printf Sim

@@ -1,0 +1,1 @@
+examples/membership.ml: Apps Fmt Mu Printf Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps Fmt Mu Option Sim

@@ -1,0 +1,1 @@
+examples/throughput_tuning.ml: Fmt List Sim Workload

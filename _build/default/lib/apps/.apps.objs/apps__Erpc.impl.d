@@ -1,0 +1,1 @@
+lib/apps/erpc.ml: Bytes Fmt Rdma Sim

@@ -1,0 +1,1 @@
+lib/apps/exchange.ml: Buffer Bytes Int32 List Mu Order_book

@@ -1,0 +1,1 @@
+lib/apps/exchange.mli: Bytes Mu Order_book

@@ -1,0 +1,1 @@
+lib/apps/herd.ml: Array Bytes Hashtbl Int32 Int64 Rdma Sim

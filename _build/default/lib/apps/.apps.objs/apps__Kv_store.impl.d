@@ -1,0 +1,1 @@
+lib/apps/kv_store.ml: Buffer Bytes Hashtbl Int32 Mu Option String

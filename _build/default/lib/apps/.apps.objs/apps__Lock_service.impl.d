@@ -1,0 +1,1 @@
+lib/apps/lock_service.ml: Buffer Bytes Hashtbl Int32 Mu Option Queue String

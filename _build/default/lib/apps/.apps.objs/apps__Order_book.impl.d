@@ -1,0 +1,1 @@
+lib/apps/order_book.ml: Buffer Bytes Fmt Hashtbl Int Int32 List Map Option Queue

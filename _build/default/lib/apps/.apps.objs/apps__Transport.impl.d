@@ -1,0 +1,1 @@
+lib/apps/transport.ml: Fmt Sim

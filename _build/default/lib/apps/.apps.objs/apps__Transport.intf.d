@@ -1,0 +1,1 @@
+lib/apps/transport.mli: Fmt Sim

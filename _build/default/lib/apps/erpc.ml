@@ -1,0 +1,94 @@
+let message_capacity = 512
+let server_cpu = 350 (* request dispatch at the server *)
+
+(* Client-stack overhead per call: the heavy-tailed component of eRPC's
+   end-to-end latency (congestion control, pacing, event loop), calibrated
+   so unreplicated Liquibook lands at the paper's 4.08 us median with its
+   wide 1p..99p band. *)
+let client_overhead =
+  Sim.Distribution.Shifted
+    { base = 350.0; jitter = Lognormal { median = 800.0; sigma = 0.95 } }
+
+type server = {
+  engine : Sim.Engine.t;
+  cal : Sim.Calibration.t;
+  host : Sim.Host.t;
+  handler : bytes -> bytes;
+  mutable wr : int;
+}
+
+type client = {
+  c_server : server;
+  c_host : Sim.Host.t;
+  c_qp : Rdma.Qp.t;
+  c_cq : Rdma.Cq.t;
+  c_rng : Sim.Rng.t;
+  mutable c_wr : int;
+  resp_buf : Bytes.t;
+}
+
+let server engine cal ~host ~handler = { engine; cal; host; handler; wr = 0 }
+
+(* Each client connection gets its own QP pair and a server-side fiber
+   that keeps one receive posted and answers requests in order. *)
+let connect srv ~host =
+  let c_cq = Rdma.Cq.create srv.engine in
+  let s_cq = Rdma.Cq.create srv.engine in
+  let c_qp = Rdma.Qp.create host ~cq:c_cq in
+  let s_qp = Rdma.Qp.create srv.host ~cq:s_cq in
+  Rdma.Qp.connect c_qp s_qp;
+  let req_buf = Bytes.create message_capacity in
+  Sim.Host.spawn srv.host ~name:"erpc-server" (fun () ->
+      let rec serve () =
+        srv.wr <- srv.wr + 1;
+        Rdma.Qp.post_recv s_qp ~wr_id:srv.wr ~dst:req_buf ~dst_off:0
+          ~max_len:message_capacity;
+        let rec await_request () =
+          let wc = Rdma.Cq.await s_cq in
+          match wc.Rdma.Verbs.kind, wc.Rdma.Verbs.status with
+          | `Recv, Rdma.Verbs.Success -> wc.Rdma.Verbs.byte_len
+          | `Send, Rdma.Verbs.Success -> await_request ()
+          | _, _ -> raise Exit
+        in
+        match await_request () with
+        | len ->
+          Sim.Host.cpu srv.host server_cpu;
+          let response = srv.handler (Bytes.sub req_buf 0 len) in
+          srv.wr <- srv.wr + 1;
+          Rdma.Qp.post_send s_qp ~wr_id:srv.wr ~src:response ~src_off:0
+            ~len:(Bytes.length response);
+          serve ()
+        | exception Exit -> ()
+      in
+      serve ());
+  {
+    c_server = srv;
+    c_host = host;
+    c_qp;
+    c_cq;
+    c_rng = Sim.Rng.split (Sim.Engine.rng srv.engine);
+    c_wr = 0;
+    resp_buf = Bytes.create message_capacity;
+  }
+
+let call t payload =
+  if Bytes.length payload > message_capacity then invalid_arg "Erpc.call: payload too large";
+  (* Client-stack cost, split around the wire round trip. *)
+  let overhead = Sim.Distribution.sample_ns client_overhead t.c_rng in
+  Sim.Host.cpu t.c_host (overhead / 2);
+  t.c_wr <- t.c_wr + 1;
+  Rdma.Qp.post_recv t.c_qp ~wr_id:t.c_wr ~dst:t.resp_buf ~dst_off:0
+    ~max_len:message_capacity;
+  t.c_wr <- t.c_wr + 1;
+  Rdma.Qp.post_send t.c_qp ~wr_id:t.c_wr ~src:payload ~src_off:0
+    ~len:(Bytes.length payload);
+  let rec await_response () =
+    let wc = Rdma.Cq.await t.c_cq in
+    match wc.Rdma.Verbs.kind, wc.Rdma.Verbs.status with
+    | `Recv, Rdma.Verbs.Success -> wc.Rdma.Verbs.byte_len
+    | `Send, Rdma.Verbs.Success -> await_response ()
+    | _, st -> failwith (Fmt.str "Erpc.call: %a" Rdma.Verbs.pp_wc_status st)
+  in
+  let len = await_response () in
+  Sim.Host.cpu t.c_host (overhead - (overhead / 2));
+  Bytes.sub t.resp_buf 0 len

@@ -1,0 +1,142 @@
+type command =
+  | Limit of { id : int; side : Order_book.side; price : int; qty : int }
+  | Market of { id : int; side : Order_book.side; qty : int }
+  | Cancel of { id : int }
+  | Replace of { id : int; price : int option; qty : int }
+
+let side_byte = function Order_book.Buy -> '\000' | Order_book.Sell -> '\001'
+let side_of_byte = function '\000' -> Order_book.Buy | _ -> Order_book.Sell
+
+(* Fixed 21-byte frame: tag, id, side, price, qty — padded to 32 bytes to
+   match the paper's Liquibook payload size. *)
+let frame_size = 32
+
+let encode_command cmd =
+  let b = Bytes.make frame_size '\000' in
+  let set_i32 off v = Bytes.set_int32_le b off (Int32.of_int v) in
+  (match cmd with
+  | Limit { id; side; price; qty } ->
+    Bytes.set b 0 'L';
+    set_i32 1 id;
+    Bytes.set b 5 (side_byte side);
+    set_i32 6 price;
+    set_i32 10 qty
+  | Market { id; side; qty } ->
+    Bytes.set b 0 'M';
+    set_i32 1 id;
+    Bytes.set b 5 (side_byte side);
+    set_i32 10 qty
+  | Cancel { id } ->
+    Bytes.set b 0 'C';
+    set_i32 1 id
+  | Replace { id; price; qty } ->
+    Bytes.set b 0 'R';
+    set_i32 1 id;
+    (match price with
+    | Some p ->
+      Bytes.set b 5 '\001';
+      set_i32 6 p
+    | None -> ());
+    set_i32 10 qty);
+  b
+
+let decode_command b =
+  if Bytes.length b < frame_size then None
+  else
+    let get_i32 off = Int32.to_int (Bytes.get_int32_le b off) in
+    let id = get_i32 1 in
+    match Bytes.get b 0 with
+    | 'L' ->
+      Some
+        (Limit { id; side = side_of_byte (Bytes.get b 5); price = get_i32 6; qty = get_i32 10 })
+    | 'M' -> Some (Market { id; side = side_of_byte (Bytes.get b 5); qty = get_i32 10 })
+    | 'C' -> Some (Cancel { id })
+    | 'R' ->
+      let price = if Bytes.get b 5 = '\001' then Some (get_i32 6) else None in
+      Some (Replace { id; price; qty = get_i32 10 })
+    | _ -> None
+
+let command_size cmd = Bytes.length (encode_command cmd)
+
+let encode_events events =
+  let buf = Buffer.create 64 in
+  let add_i32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    Buffer.add_bytes buf b
+  in
+  List.iter
+    (fun (e : Order_book.event) ->
+      match e with
+      | Order_book.Accepted { id } ->
+        Buffer.add_char buf 'A';
+        add_i32 id
+      | Order_book.Filled { taker; maker; price; qty } ->
+        Buffer.add_char buf 'F';
+        add_i32 taker;
+        add_i32 maker;
+        add_i32 price;
+        add_i32 qty
+      | Order_book.Done { id } ->
+        Buffer.add_char buf 'X';
+        add_i32 id
+      | Order_book.Cancelled { id; remaining } ->
+        Buffer.add_char buf 'C';
+        add_i32 id;
+        add_i32 remaining
+      | Order_book.Replaced { id } ->
+        Buffer.add_char buf 'R';
+        add_i32 id
+      | Order_book.Rejected { id; reason = _ } ->
+        Buffer.add_char buf 'J';
+        add_i32 id)
+    events;
+  Buffer.to_bytes buf
+
+let decode_events b =
+  let get_i32 off = Int32.to_int (Bytes.get_int32_le b off) in
+  let rec go off acc =
+    if off >= Bytes.length b then List.rev acc
+    else
+      match Bytes.get b off with
+      | 'A' -> go (off + 5) (Order_book.Accepted { id = get_i32 (off + 1) } :: acc)
+      | 'F' ->
+        go (off + 17)
+          (Order_book.Filled
+             {
+               taker = get_i32 (off + 1);
+               maker = get_i32 (off + 5);
+               price = get_i32 (off + 9);
+               qty = get_i32 (off + 13);
+             }
+          :: acc)
+      | 'X' -> go (off + 5) (Order_book.Done { id = get_i32 (off + 1) } :: acc)
+      | 'C' ->
+        go (off + 9)
+          (Order_book.Cancelled { id = get_i32 (off + 1); remaining = get_i32 (off + 5) }
+          :: acc)
+      | 'R' -> go (off + 5) (Order_book.Replaced { id = get_i32 (off + 1) } :: acc)
+      | 'J' ->
+        go (off + 5) (Order_book.Rejected { id = get_i32 (off + 1); reason = "" } :: acc)
+      | _ -> List.rev acc
+  in
+  go 0 []
+
+let apply book cmd =
+  match cmd with
+  | Limit { id; side; price; qty } -> Order_book.submit_limit book ~id ~side ~price ~qty
+  | Market { id; side; qty } -> Order_book.submit_market book ~id ~side ~qty
+  | Cancel { id } -> Order_book.cancel book ~id
+  | Replace { id; price; qty } -> Order_book.replace book ~id ~price ~qty
+
+let smr_app () =
+  let book = ref (Order_book.create ()) in
+  {
+    Mu.Smr.apply =
+      (fun payload ->
+        match decode_command payload with
+        | Some cmd -> encode_events (apply !book cmd)
+        | None -> Bytes.empty);
+    snapshot = (fun () -> Order_book.snapshot !book);
+    install = (fun data -> book := Order_book.restore data);
+  }

@@ -1,0 +1,29 @@
+(** The replicated financial-exchange service: {!Order_book} behind a
+    binary command codec and an {!Mu.Smr} application — our equivalent of
+    the paper's Liquibook-over-eRPC service (§7).
+
+    Requests are matching-engine commands; responses carry the resulting
+    events. Order ids are client-assigned; the book's duplicate-id
+    rejection doubles as the idempotence guard under SMR's at-least-once
+    delivery (a re-executed submit is rejected as a duplicate and the
+    client treats that as success). *)
+
+type command =
+  | Limit of { id : int; side : Order_book.side; price : int; qty : int }
+  | Market of { id : int; side : Order_book.side; qty : int }
+  | Cancel of { id : int }
+  | Replace of { id : int; price : int option; qty : int }
+
+val encode_command : command -> Bytes.t
+val decode_command : Bytes.t -> command option
+
+val encode_events : Order_book.event list -> Bytes.t
+val decode_events : Bytes.t -> Order_book.event list
+
+val command_size : command -> int
+(** Encoded size; the paper's Liquibook integration uses 32-byte orders. *)
+
+val apply : Order_book.t -> command -> Order_book.event list
+
+val smr_app : unit -> Mu.Smr.app
+(** Replica application with checkpoint/restore. *)

@@ -1,0 +1,55 @@
+(** An in-memory key-value store with a compact binary command codec.
+
+    This is the application kernel behind the paper's three replicated
+    key-value stores (HERD, Memcached, Redis — §7); they differ only in
+    the client transport ({!Transport}), not in the service logic.
+
+    Commands carry a client-assigned request id; the store remembers the
+    last id applied per client and turns duplicates into no-ops, giving
+    exactly-once semantics on top of the SMR layer's at-least-once
+    delivery (see {!Mu.Smr}). *)
+
+type t
+
+val create : unit -> t
+
+type command =
+  | Get of { key : string }
+  | Put of { key : string; value : string }
+  | Delete of { key : string }
+
+type reply =
+  | Value of string
+  | Not_found
+  | Stored
+  | Deleted
+
+val apply : t -> command -> reply
+(** Execute a command directly (no dedup). *)
+
+val apply_dedup : t -> client:int -> req_id:int -> command -> reply
+(** Execute with duplicate suppression: a (client, req_id) pair already
+    applied returns its recorded reply without re-executing. *)
+
+val size : t -> int
+val find : t -> string -> string option
+
+(** {1 Wire codec} *)
+
+val encode_command : ?client:int -> ?req_id:int -> command -> Bytes.t
+val decode_command : Bytes.t -> (int * int * command) option
+(** Returns [(client, req_id, command)]. *)
+
+val encode_reply : reply -> Bytes.t
+val decode_reply : Bytes.t -> reply option
+
+(** {1 SMR integration} *)
+
+val smr_app : unit -> Mu.Smr.app
+(** A replica application: decodes commands, applies them with dedup, and
+    supports checkpoint/restore for membership changes (§5.4). *)
+
+(** {1 Checkpointing} *)
+
+val snapshot : t -> Bytes.t
+val restore : Bytes.t -> t

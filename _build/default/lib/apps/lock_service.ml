@@ -1,0 +1,229 @@
+type lock_state = { mutable owner : (int * int) option; waiters : int Queue.t }
+
+type t = {
+  locks : (string, lock_state) Hashtbl.t;
+  mutable next_fence : int;
+  last_applied : (int, int * Bytes.t) Hashtbl.t;
+}
+
+let create () = { locks = Hashtbl.create 64; next_fence = 1; last_applied = Hashtbl.create 64 }
+
+type command =
+  | Acquire of { client : int; lock : string }
+  | Release of { client : int; lock : string }
+  | Holder of { lock : string }
+
+type reply =
+  | Granted of { fence : int }
+  | Queued of { position : int }
+  | Released
+  | Not_held
+  | Held_by of { client : int; fence : int }
+  | Free
+
+let state_of t lock =
+  match Hashtbl.find_opt t.locks lock with
+  | Some s -> s
+  | None ->
+    let s = { owner = None; waiters = Queue.create () } in
+    Hashtbl.replace t.locks lock s;
+    s
+
+let grant t s client =
+  let fence = t.next_fence in
+  t.next_fence <- t.next_fence + 1;
+  s.owner <- Some (client, fence);
+  fence
+
+let apply t cmd =
+  match cmd with
+  | Acquire { client; lock } -> (
+    let s = state_of t lock in
+    match s.owner with
+    | None -> Granted { fence = grant t s client }
+    | Some (owner, fence) when owner = client -> Granted { fence }
+    | Some _ ->
+      if Queue.fold (fun acc w -> acc || w = client) false s.waiters then
+        Queued
+          {
+            position =
+              (let pos = ref 0 and i = ref 0 in
+               Queue.iter
+                 (fun w ->
+                   incr i;
+                   if w = client then pos := !i)
+                 s.waiters;
+               !pos);
+          }
+      else begin
+        Queue.push client s.waiters;
+        Queued { position = Queue.length s.waiters }
+      end)
+  | Release { client; lock } -> (
+    let s = state_of t lock in
+    match s.owner with
+    | Some (owner, _) when owner = client ->
+      (match Queue.take_opt s.waiters with
+      | Some next -> ignore (grant t s next)
+      | None -> s.owner <- None);
+      Released
+    | Some _ | None -> Not_held)
+  | Holder { lock } -> (
+    match Hashtbl.find_opt t.locks lock with
+    | Some { owner = Some (client, fence); _ } -> Held_by { client; fence }
+    | Some { owner = None; _ } | None -> Free)
+
+let holder t lock =
+  match Hashtbl.find_opt t.locks lock with Some s -> s.owner | None -> None
+
+let queue_length t lock =
+  match Hashtbl.find_opt t.locks lock with Some s -> Queue.length s.waiters | None -> 0
+
+let locks_held t =
+  Hashtbl.fold (fun _ s acc -> if s.owner <> None then acc + 1 else acc) t.locks 0
+
+(* --- codec ---------------------------------------------------------------- *)
+
+let put_string buf s =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int (String.length s));
+  Buffer.add_bytes buf b;
+  Buffer.add_string buf s
+
+let get_string data off =
+  let len = Int32.to_int (Bytes.get_int32_le data off) in
+  (Bytes.sub_string data (off + 4) len, off + 4 + len)
+
+let encode_command ?(client = 0) ?(req_id = 0) cmd =
+  let buf = Buffer.create 32 in
+  let hdr = Bytes.create 13 in
+  Bytes.set hdr 0
+    (match cmd with Acquire _ -> 'A' | Release _ -> 'R' | Holder _ -> 'H');
+  Bytes.set_int32_le hdr 1 (Int32.of_int client);
+  Bytes.set_int32_le hdr 5 (Int32.of_int req_id);
+  (match cmd with
+  | Acquire { client = c; _ } | Release { client = c; _ } ->
+    Bytes.set_int32_le hdr 9 (Int32.of_int c)
+  | Holder _ -> ());
+  Buffer.add_bytes buf hdr;
+  (match cmd with
+  | Acquire { lock; _ } | Release { lock; _ } | Holder { lock } -> put_string buf lock);
+  Buffer.to_bytes buf
+
+let decode_command data =
+  if Bytes.length data < 13 then None
+  else
+    try
+      let client = Int32.to_int (Bytes.get_int32_le data 1) in
+      let req_id = Int32.to_int (Bytes.get_int32_le data 5) in
+      let actor = Int32.to_int (Bytes.get_int32_le data 9) in
+      let lock, _ = get_string data 13 in
+      match Bytes.get data 0 with
+      | 'A' -> Some (client, req_id, Acquire { client = actor; lock })
+      | 'R' -> Some (client, req_id, Release { client = actor; lock })
+      | 'H' -> Some (client, req_id, Holder { lock })
+      | _ -> None
+    with Invalid_argument _ -> None
+
+let encode_reply r =
+  let b = Bytes.make 9 '\000' in
+  (match r with
+  | Granted { fence } ->
+    Bytes.set b 0 'G';
+    Bytes.set_int32_le b 1 (Int32.of_int fence)
+  | Queued { position } ->
+    Bytes.set b 0 'Q';
+    Bytes.set_int32_le b 1 (Int32.of_int position)
+  | Released -> Bytes.set b 0 'R'
+  | Not_held -> Bytes.set b 0 'N'
+  | Held_by { client; fence } ->
+    Bytes.set b 0 'B';
+    Bytes.set_int32_le b 1 (Int32.of_int client);
+    Bytes.set_int32_le b 5 (Int32.of_int fence)
+  | Free -> Bytes.set b 0 'F');
+  b
+
+let decode_reply b =
+  if Bytes.length b < 9 then None
+  else
+    let i32 off = Int32.to_int (Bytes.get_int32_le b off) in
+    match Bytes.get b 0 with
+    | 'G' -> Some (Granted { fence = i32 1 })
+    | 'Q' -> Some (Queued { position = i32 1 })
+    | 'R' -> Some Released
+    | 'N' -> Some Not_held
+    | 'B' -> Some (Held_by { client = i32 1; fence = i32 5 })
+    | 'F' -> Some Free
+    | _ -> None
+
+(* --- dedup + checkpoint ----------------------------------------------------- *)
+
+let apply_dedup t ~client ~req_id cmd =
+  match Hashtbl.find_opt t.last_applied client with
+  | Some (last, reply) when last = req_id && req_id <> 0 ->
+    Option.value (decode_reply reply) ~default:Not_held
+  | Some _ | None ->
+    let reply = apply t cmd in
+    if req_id <> 0 then Hashtbl.replace t.last_applied client (req_id, encode_reply reply);
+    reply
+
+let snapshot t =
+  let buf = Buffer.create 256 in
+  let add_i32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    Buffer.add_bytes buf b
+  in
+  add_i32 t.next_fence;
+  add_i32 (Hashtbl.length t.locks);
+  Hashtbl.iter
+    (fun name s ->
+      put_string buf name;
+      (match s.owner with
+      | Some (c, f) ->
+        add_i32 1;
+        add_i32 c;
+        add_i32 f
+      | None -> add_i32 0);
+      add_i32 (Queue.length s.waiters);
+      Queue.iter add_i32 s.waiters)
+    t.locks;
+  Buffer.to_bytes buf
+
+let restore data =
+  let t = create () in
+  let i32 off = Int32.to_int (Bytes.get_int32_le data off) in
+  t.next_fence <- i32 0;
+  let count = i32 4 in
+  let off = ref 8 in
+  for _ = 1 to count do
+    let name, o = get_string data !off in
+    let s = state_of t name in
+    let o =
+      if i32 o = 1 then begin
+        s.owner <- Some (i32 (o + 4), i32 (o + 8));
+        o + 12
+      end
+      else o + 4
+    in
+    let waiters = i32 o in
+    off := o + 4;
+    for _ = 1 to waiters do
+      Queue.push (i32 !off) s.waiters;
+      off := !off + 4
+    done
+  done;
+  t
+
+let smr_app () =
+  let service = ref (create ()) in
+  {
+    Mu.Smr.apply =
+      (fun payload ->
+        match decode_command payload with
+        | Some (client, req_id, cmd) ->
+          encode_reply (apply_dedup !service ~client ~req_id cmd)
+        | None -> Bytes.empty);
+    snapshot = (fun () -> snapshot !service);
+    install = (fun data -> service := restore data);
+  }

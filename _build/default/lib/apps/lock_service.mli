@@ -1,0 +1,56 @@
+(** A replicated lock service — the classic SMR workload (the paper's §8
+    cites Chubby as the canonical consensus-backed service).
+
+    Exclusive, named locks with FIFO wait queues:
+
+    - {!Acquire} grants the lock if free, re-confirms if the caller
+      already holds it (making retried requests idempotent), or enqueues
+      the caller and reports its queue position.
+    - {!Release} frees the lock and grants it to the head of the wait
+      queue, if any.
+    - {!Holder} queries current ownership without mutating state.
+
+    All transitions are deterministic, as SMR requires, and the service
+    checkpoints for membership changes (§5.4). Fencing tokens increase on
+    every grant so clients can order their lock epochs — the standard
+    guard against a delayed ex-holder. *)
+
+type t
+
+val create : unit -> t
+
+type command =
+  | Acquire of { client : int; lock : string }
+  | Release of { client : int; lock : string }
+  | Holder of { lock : string }
+
+type reply =
+  | Granted of { fence : int }  (** Caller holds the lock. *)
+  | Queued of { position : int }  (** Caller waits behind [position] others. *)
+  | Released
+  | Not_held  (** Release of a lock the caller does not hold. *)
+  | Held_by of { client : int; fence : int }
+  | Free
+
+val apply : t -> command -> reply
+
+(** {1 Inspection} *)
+
+val holder : t -> string -> (int * int) option
+(** Current (client, fence) of a lock. *)
+
+val queue_length : t -> string -> int
+val locks_held : t -> int
+
+(** {1 Wire codec and SMR integration} *)
+
+val encode_command : ?client:int -> ?req_id:int -> command -> Bytes.t
+val decode_command : Bytes.t -> (int * int * command) option
+val encode_reply : reply -> Bytes.t
+val decode_reply : Bytes.t -> reply option
+
+val smr_app : unit -> Mu.Smr.app
+(** Replica application with duplicate suppression and checkpointing. *)
+
+val snapshot : t -> Bytes.t
+val restore : Bytes.t -> t

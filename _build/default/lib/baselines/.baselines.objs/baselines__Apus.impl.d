@@ -1,0 +1,1 @@
+lib/baselines/apus.ml: Array Bytes Common Fmt Int64 List Rdma Sim

@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Array Bytes Fmt Printf Rdma Sim

@@ -1,0 +1,1 @@
+lib/baselines/dare.ml: Array Bytes Common Int64 List Sim

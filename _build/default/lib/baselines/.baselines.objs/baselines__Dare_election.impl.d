@@ -1,0 +1,1 @@
+lib/baselines/dare_election.ml: Array Bytes Common Fun Int64 List Option Printf Rdma Sim

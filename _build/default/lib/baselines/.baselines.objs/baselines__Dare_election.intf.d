@@ -1,0 +1,1 @@
+lib/baselines/dare_election.mli: Common Sim

@@ -1,0 +1,1 @@
+lib/baselines/failover_model.mli: Sim

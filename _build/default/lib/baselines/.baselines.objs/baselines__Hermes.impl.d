@@ -1,0 +1,1 @@
+lib/baselines/hermes.ml: Array Bytes Common Int64 List Rdma Sim

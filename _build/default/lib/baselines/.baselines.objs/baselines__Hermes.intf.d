@@ -1,0 +1,1 @@
+lib/baselines/hermes.mli: Common

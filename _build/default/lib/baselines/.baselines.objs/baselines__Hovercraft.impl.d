@@ -1,0 +1,1 @@
+lib/baselines/hovercraft.ml: Array Common Sim

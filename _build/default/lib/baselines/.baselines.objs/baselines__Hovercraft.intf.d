@@ -1,0 +1,1 @@
+lib/baselines/hovercraft.mli: Common Sim

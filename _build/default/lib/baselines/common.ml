@@ -1,0 +1,67 @@
+type t = {
+  engine : Sim.Engine.t;
+  cal : Sim.Calibration.t;
+  hosts : Sim.Host.t array;
+  mrs : Rdma.Mr.t array;
+  qps : Rdma.Qp.t array array;
+  cqs : Rdma.Cq.t array;
+}
+
+let create engine cal ~n ~mr_size =
+  (* Bootstrap through the QP exchange layer, as a real deployment would:
+     every node listens, advertises its buffer, and dials its peers. *)
+  let exchange = Rdma.Exchange.create engine in
+  let hosts =
+    Array.init n (fun id -> Sim.Host.create engine cal ~id ~name:(Printf.sprintf "node%d" id))
+  in
+  let mrs =
+    Array.map (fun h -> Rdma.Mr.register h ~size:mr_size ~access:Rdma.Verbs.access_rw) hosts
+  in
+  let cqs = Array.init n (fun _ -> Rdma.Cq.create engine) in
+  Array.iteri
+    (fun i h ->
+      Rdma.Exchange.listen exchange ~host:h ~service:"data"
+        ~make_cq:(fun () -> cqs.(i))
+        ~access:Rdma.Verbs.access_rw ();
+      Rdma.Exchange.advertise exchange ~host:h ~name:"buffer" mrs.(i))
+    hosts;
+  let dummy = Rdma.Qp.create hosts.(0) ~cq:cqs.(0) in
+  let qps = Array.make_matrix n n dummy in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let qi =
+        Rdma.Exchange.dial exchange ~host:hosts.(i)
+          ~peer:(Sim.Host.name hosts.(j))
+          ~service:"data" ~cq:cqs.(i) ~access:Rdma.Verbs.access_rw ()
+      in
+      let qj =
+        match Rdma.Exchange.accepted exchange ~host:hosts.(j) ~service:"data" with
+        | (_, qp) :: _ -> qp
+        | [] -> assert false
+      in
+      qps.(i).(j) <- qi;
+      qps.(j).(i) <- qj
+    done
+  done;
+  ignore (Rdma.Exchange.lookup exchange ~peer:(Sim.Host.name hosts.(0)) ~name:"buffer");
+  { engine; cal; hosts; mrs; qps; cqs }
+
+let n t = Array.length t.hosts
+let majority t = (n t / 2) + 1
+
+let wr_counter = ref 0
+
+let write_to t ~src ~dst ~data ~off =
+  incr wr_counter;
+  Rdma.Qp.post_write t.qps.(src).(dst) ~wr_id:!wr_counter ~src:data ~src_off:0
+    ~len:(Bytes.length data) ~mr:t.mrs.(dst) ~dst_off:off
+
+let await_successes t ~node ~count =
+  for _ = 1 to count do
+    let wc = Rdma.Cq.await t.cqs.(node) in
+    match wc.Rdma.Verbs.status with
+    | Rdma.Verbs.Success -> ()
+    | st -> failwith (Fmt.str "baseline: operation failed: %a" Rdma.Verbs.pp_wc_status st)
+  done
+
+type engine = { name : string; replicate : Bytes.t -> int }

@@ -1,0 +1,1 @@
+lib/mu/config.mli:

@@ -1,0 +1,1 @@
+lib/mu/election.ml: Bytes Config Hashtbl Int64 List Logs Metrics Option Printf Rdma Replica Sim

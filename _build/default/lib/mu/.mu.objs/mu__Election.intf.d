@@ -1,0 +1,1 @@
+lib/mu/election.mli: Replica

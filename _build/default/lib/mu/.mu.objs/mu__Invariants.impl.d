@@ -1,0 +1,1 @@
+lib/mu/invariants.ml: Array Bytes Fmt List Log Option Printf Rdma Replica

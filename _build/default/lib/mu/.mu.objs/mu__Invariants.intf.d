@@ -1,0 +1,1 @@
+lib/mu/invariants.mli: Fmt Replica

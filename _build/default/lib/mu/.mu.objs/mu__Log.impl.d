@@ -1,0 +1,1 @@
+lib/mu/log.ml: Bytes Char Fmt Int32 Int64 Printf Rdma

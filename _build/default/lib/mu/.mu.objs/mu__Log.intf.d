@@ -1,0 +1,1 @@
+lib/mu/log.mli: Bytes Fmt Rdma

@@ -1,0 +1,1 @@
+lib/mu/metrics.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/mu/metrics.mli: Fmt

@@ -1,0 +1,1 @@
+lib/mu/permissions.ml: Bytes Hashtbl Int64 List Logs Metrics Option Rdma Replica Sim

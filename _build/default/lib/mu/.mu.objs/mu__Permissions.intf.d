@@ -1,0 +1,1 @@
+lib/mu/permissions.mli: Replica

@@ -1,0 +1,1 @@
+lib/mu/recycler.ml: Bytes Config Hashtbl Int64 List Log Metrics Rdma Replica Sim

@@ -1,0 +1,1 @@
+lib/mu/recycler.mli: Replica

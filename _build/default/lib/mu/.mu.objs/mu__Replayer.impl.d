@@ -1,0 +1,1 @@
+lib/mu/replayer.ml: Config Log Replica Sim

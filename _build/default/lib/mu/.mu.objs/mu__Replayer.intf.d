@@ -1,0 +1,1 @@
+lib/mu/replayer.mli: Replica

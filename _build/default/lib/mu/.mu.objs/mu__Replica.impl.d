@@ -1,0 +1,1 @@
+lib/mu/replica.ml: Array Config Hashtbl Int64 List Log Metrics Printf Rdma Sim

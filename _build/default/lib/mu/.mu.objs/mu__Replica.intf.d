@@ -1,0 +1,1 @@
+lib/mu/replica.mli: Config Hashtbl Log Metrics Rdma Sim

@@ -1,0 +1,1 @@
+lib/mu/replication.ml: Bytes Config Fmt Fun Hashtbl Int64 List Log Logs Metrics Permissions Printf Rdma Replica Sim

@@ -1,0 +1,1 @@
+lib/mu/replication.mli: Bytes Replica

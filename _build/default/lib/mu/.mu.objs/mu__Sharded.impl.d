@@ -1,0 +1,1 @@
+lib/mu/sharded.ml: Array Char Smr String

@@ -1,0 +1,1 @@
+lib/mu/sharded.mli: Config Sim Smr

@@ -1,0 +1,1 @@
+lib/mu/smr.ml: Array Bytes Config Election Hashtbl Int32 Int64 List Log Option Permissions Queue Rdma Recycler Replayer Replica Replication Sim

@@ -1,0 +1,1 @@
+lib/mu/smr.mli: Config Replica Sim

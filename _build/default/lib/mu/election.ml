@@ -1,0 +1,135 @@
+let log_src = Logs.Src.create "mu.election" ~doc:"Leader election (pull-score)"
+
+module L = (val Logs.src_log log_src : Logs.LOG)
+
+let read_own_heartbeat t = Rdma.Mr.get_i64 t.Replica.bg_mr ~off:Replica.bg_hb_offset
+
+let is_alive t id =
+  if id = t.Replica.id then true
+  else Option.value (Hashtbl.find_opt t.Replica.alive id) ~default:true
+
+let current_leader t = t.Replica.leader_estimate
+
+(* Replication-plane activity check for fate sharing: a propose call in
+   flight for longer than the configured bound means the replication
+   thread is stuck and we should stop advertising liveness (§5.1). *)
+let replication_stuck t =
+  match t.Replica.propose_started_at with
+  | None -> false
+  | Some started ->
+    Sim.Engine.now (Replica.engine t) - started
+    > t.Replica.config.Config.fate_sharing_stuck_after
+
+let heartbeat_fiber t =
+  let c = Replica.cal t in
+  let rec loop () =
+    if t.Replica.stop || t.Replica.removed then ()
+    else begin
+      if not (t.Replica.config.Config.fate_sharing && replication_stuck t) then begin
+        let v = read_own_heartbeat t in
+        Rdma.Mr.set_i64 t.Replica.bg_mr ~off:Replica.bg_hb_offset (Int64.add v 1L)
+      end;
+      Sim.Host.cpu t.Replica.host c.Sim.Calibration.hb_increment_interval;
+      loop ()
+    end
+  in
+  loop ()
+
+let clamp c v =
+  let lo = c.Sim.Calibration.score_min and hi = c.Sim.Calibration.score_max in
+  if v < lo then lo else if v > hi then hi else v
+
+(* One monitor fiber per peer: read its counter, score it, update the
+   alive table with hysteresis. *)
+let monitor_fiber t (p : Replica.peer) =
+  let c = Replica.cal t in
+  Hashtbl.replace t.Replica.scores p.Replica.pid c.Sim.Calibration.score_max;
+  Hashtbl.replace t.Replica.alive p.Replica.pid true;
+  let buf = Bytes.create 8 in
+  let rec loop () =
+    if t.Replica.stop || t.Replica.removed then ()
+    else if not (List.exists (fun q -> q.Replica.pid = p.Replica.pid) t.Replica.peers)
+    then () (* peer was removed from the group *)
+    else begin
+      Sim.Host.idle t.Replica.host c.Sim.Calibration.fd_read_interval;
+      let advanced =
+        if Rdma.Qp.state p.Replica.fd_qp <> Rdma.Verbs.Rts then false
+        else begin
+          t.Replica.metrics.Metrics.fd_reads <- t.Replica.metrics.Metrics.fd_reads + 1;
+          Rdma.Qp.post_read p.Replica.fd_qp ~wr_id:(Replica.fresh_wr_id t) ~dst:buf
+            ~dst_off:0 ~len:8 ~mr:p.Replica.remote_bg_mr ~src_off:Replica.bg_hb_offset;
+          let wc = Rdma.Cq.await p.Replica.fd_cq in
+          match wc.Rdma.Verbs.status with
+          | Rdma.Verbs.Success ->
+            let v = Bytes.get_int64_le buf 0 in
+            let prev = Hashtbl.find_opt t.Replica.last_hb p.Replica.pid in
+            Hashtbl.replace t.Replica.last_hb p.Replica.pid v;
+            (match prev with None -> true | Some v0 -> Int64.compare v v0 > 0)
+          | Rdma.Verbs.Remote_access_error | Rdma.Verbs.Operation_timeout
+          | Rdma.Verbs.Flushed ->
+            false
+        end
+      in
+      let score =
+        Option.value (Hashtbl.find_opt t.Replica.scores p.Replica.pid)
+          ~default:c.Sim.Calibration.score_max
+      in
+      let score = clamp c (if advanced then score + 1 else score - 1) in
+      Hashtbl.replace t.Replica.scores p.Replica.pid score;
+      let alive = Option.value (Hashtbl.find_opt t.Replica.alive p.Replica.pid) ~default:true in
+      if alive && score < c.Sim.Calibration.score_fail then
+        Hashtbl.replace t.Replica.alive p.Replica.pid false
+      else if (not alive) && score > c.Sim.Calibration.score_recover then
+        Hashtbl.replace t.Replica.alive p.Replica.pid true;
+      loop ()
+    end
+  in
+  loop ()
+
+let lowest_alive t =
+  List.fold_left
+    (fun best p ->
+      if is_alive t p.Replica.pid && p.Replica.pid < best then p.Replica.pid else best)
+    t.Replica.id t.Replica.peers
+
+let role_fiber t ~on_role_change =
+  let c = Replica.cal t in
+  let rec loop () =
+    if t.Replica.stop || t.Replica.removed then ()
+    else begin
+      let leader = lowest_alive t in
+      t.Replica.leader_estimate <- leader;
+      (match t.Replica.role, leader = t.Replica.id with
+      | Replica.Follower, true ->
+        t.Replica.role <- Replica.Leader;
+        t.Replica.role_generation <- t.Replica.role_generation + 1;
+        t.Replica.need_new_followers <- true;
+        L.info (fun m ->
+            m "t=%dns replica %d becomes leader (gen %d)"
+              (Sim.Engine.now (Replica.engine t))
+              t.Replica.id t.Replica.role_generation);
+        on_role_change Replica.Leader
+      | Replica.Leader, false ->
+        t.Replica.role <- Replica.Follower;
+        t.Replica.role_generation <- t.Replica.role_generation + 1;
+        L.info (fun m ->
+            m "t=%dns replica %d demoted (leader estimate %d)"
+              (Sim.Engine.now (Replica.engine t))
+              t.Replica.id leader);
+        on_role_change Replica.Follower
+      | Replica.Leader, true | Replica.Follower, false -> ());
+      Sim.Host.idle t.Replica.host c.Sim.Calibration.fd_read_interval;
+      loop ()
+    end
+  in
+  loop ()
+
+let start t ~on_role_change =
+  Sim.Host.spawn t.Replica.host ~name:"heartbeat" (fun () -> heartbeat_fiber t);
+  List.iter
+    (fun p ->
+      Sim.Host.spawn t.Replica.host
+        ~name:(Printf.sprintf "monitor-%d" p.Replica.pid)
+        (fun () -> monitor_fiber t p))
+    t.Replica.peers;
+  Sim.Host.spawn t.Replica.host ~name:"role" (fun () -> role_fiber t ~on_role_change)

@@ -1,0 +1,67 @@
+type t = {
+  mutable proposes : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable prepare_phases : int;
+  mutable accept_rounds : int;
+  mutable catch_up_entries : int;
+  mutable update_entries : int;
+  mutable followers_grown : int;
+  mutable permission_requests : int;
+  mutable permission_grants : int;
+  mutable perm_fast_path : int;
+  mutable perm_slow_path : int;
+  mutable fd_reads : int;
+  mutable entries_applied : int;
+  mutable slots_recycled : int;
+}
+
+let create () =
+  {
+    proposes = 0;
+    commits = 0;
+    aborts = 0;
+    prepare_phases = 0;
+    accept_rounds = 0;
+    catch_up_entries = 0;
+    update_entries = 0;
+    followers_grown = 0;
+    permission_requests = 0;
+    permission_grants = 0;
+    perm_fast_path = 0;
+    perm_slow_path = 0;
+    fd_reads = 0;
+    entries_applied = 0;
+    slots_recycled = 0;
+  }
+
+let pp ppf m =
+  Fmt.pf ppf
+    "proposes=%d commits=%d aborts=%d prepares=%d accepts=%d catch-up=%d update=%d \
+     grown=%d perm-req=%d perm-grant=%d fast/slow=%d/%d fd-reads=%d applied=%d \
+     recycled=%d"
+    m.proposes m.commits m.aborts m.prepare_phases m.accept_rounds m.catch_up_entries
+    m.update_entries m.followers_grown m.permission_requests m.permission_grants
+    m.perm_fast_path m.perm_slow_path m.fd_reads m.entries_applied m.slots_recycled
+
+let total ms =
+  let acc = create () in
+  List.iter
+    (fun m ->
+      acc.proposes <- acc.proposes + m.proposes;
+      acc.commits <- acc.commits + m.commits;
+      acc.aborts <- acc.aborts + m.aborts;
+      acc.prepare_phases <- acc.prepare_phases + m.prepare_phases;
+      acc.accept_rounds <- acc.accept_rounds + m.accept_rounds;
+      acc.catch_up_entries <- acc.catch_up_entries + m.catch_up_entries;
+      acc.update_entries <- acc.update_entries + m.update_entries;
+      acc.followers_grown <- acc.followers_grown + m.followers_grown;
+      acc.permission_requests <- acc.permission_requests + m.permission_requests;
+      acc.permission_grants <- acc.permission_grants + m.permission_grants;
+      acc.perm_fast_path <- acc.perm_fast_path + m.perm_fast_path;
+      acc.perm_slow_path <- acc.perm_slow_path + m.perm_slow_path;
+      acc.fd_reads <- acc.fd_reads + m.fd_reads;
+      acc.entries_applied <- acc.entries_applied + m.entries_applied;
+      acc.slots_recycled <- acc.slots_recycled + m.slots_recycled)
+    ms;
+  acc

@@ -1,0 +1,81 @@
+(* Read one follower's log head (8 bytes in its background MR) over the
+   misc QP; this fiber is that CQ's only consumer. *)
+let read_log_head t (p : Replica.peer) =
+  let buf = Bytes.create 8 in
+  Rdma.Qp.post_read p.Replica.misc_qp ~wr_id:(Replica.fresh_wr_id t) ~dst:buf ~dst_off:0
+    ~len:8 ~mr:p.Replica.remote_bg_mr ~src_off:Replica.bg_log_head_offset;
+  match (Rdma.Cq.await p.Replica.misc_cq).Rdma.Verbs.status with
+  | Rdma.Verbs.Success -> Some (Int64.to_int (Bytes.get_int64_le buf 0))
+  | Rdma.Verbs.Remote_access_error | Rdma.Verbs.Operation_timeout | Rdma.Verbs.Flushed ->
+    None
+
+(* Zero the physical byte ranges of logical slots [from_idx, to_idx), both
+   locally and in each confirmed follower's log. Ranges are coalesced into
+   at most two contiguous writes (the region may wrap) and chunked so a
+   single write stays modest. *)
+let zero_ranges t ~from_idx ~to_idx =
+  if to_idx > from_idx then begin
+    let log = t.Replica.log in
+    let slot_size = Log.slot_size log in
+    let nslots = Log.slots log in
+    let count = to_idx - from_idx in
+    assert (count <= nslots);
+    let first_phys = from_idx mod nslots in
+    let first_run = min count (nslots - first_phys) in
+    let runs =
+      if first_run = count then [ (first_phys, count) ]
+      else [ (first_phys, first_run); (0, count - first_run) ]
+    in
+    let chunk_slots = max 1 (262_144 / slot_size) in
+    let cf = List.filter_map (fun id -> Replica.peer_opt t id) t.Replica.confirmed in
+    List.iter
+      (fun (phys_start, run) ->
+        let off = ref 0 in
+        while !off < run do
+          let n = min chunk_slots (run - !off) in
+          let byte_off = Log.slot_offset log (phys_start + !off) in
+          let zeros = Bytes.make (n * slot_size) '\000' in
+          Rdma.Mr.set_bytes (Log.mr log) ~off:byte_off zeros;
+          List.iter
+            (fun p ->
+              let wr = Replica.fresh_wr_id t in
+              Hashtbl.replace t.Replica.inflight wr (p.Replica.pid, -2);
+              Rdma.Qp.post_write p.Replica.repl_qp ~wr_id:wr ~src:zeros ~src_off:0
+                ~len:(Bytes.length zeros) ~mr:p.Replica.remote_log_mr ~dst_off:byte_off)
+            cf;
+          off := !off + n
+        done)
+      runs
+  end
+
+let recycle_once t =
+  (* Log heads of ALL followers, not just the confirmed ones (§5.3): a
+     replica that is currently outside the confirmed set — e.g. one whose
+     permission ack arrived late — still holds a position in the log, and
+     zeroing past it would hand it recycled (empty) entries at the next
+     leader change. Only peers whose NIC is unreachable (crashed hosts,
+     which under crash-stop never return) are skipped. *)
+  let heads = List.filter_map (fun p -> read_log_head t p) t.Replica.peers in
+  let min_head = List.fold_left min t.Replica.applied heads in
+  if min_head > t.Replica.zeroed_up_to then begin
+    t.Replica.metrics.Metrics.slots_recycled <-
+      t.Replica.metrics.Metrics.slots_recycled + (min_head - t.Replica.zeroed_up_to);
+    zero_ranges t ~from_idx:t.Replica.zeroed_up_to ~to_idx:min_head;
+    t.Replica.zeroed_up_to <- min_head
+  end
+
+let start t =
+  Sim.Host.spawn t.Replica.host ~name:"recycler" (fun () ->
+      let rec loop () =
+        if t.Replica.stop || t.Replica.removed then ()
+        else begin
+          if
+            t.Replica.role = Replica.Leader
+            && (not t.Replica.need_new_followers)
+            && t.Replica.confirmed <> []
+          then recycle_once t;
+          Sim.Host.idle t.Replica.host t.Replica.config.Config.recycle_interval;
+          loop ()
+        end
+      in
+      loop ())

@@ -1,0 +1,21 @@
+(** Log recycling (§5.3).
+
+    The log is conceptually infinite but physically circular. Followers
+    publish a {e log head} (first entry not yet executed) in their
+    background MR; the leader periodically reads all heads, computes
+    [minHead], and zeroes every slot below it — in follower logs via RDMA
+    Writes on the replication QPs (it holds write permission) and locally —
+    so recycled slots cannot present stale canaries when the log wraps.
+
+    Only an established leader recycles: a new leader first finishes its
+    catch-up/update steps, guaranteeing its FUO is at least every
+    follower's (§5.3). The zeroing writes are fire-and-forget: their
+    completions are consumed (and any error turned into an abort) by the
+    propose path's completion loop, which shares the replication CQ. *)
+
+val start : Replica.t -> unit
+(** Spawn the recycling fiber (active only while this replica leads). *)
+
+val recycle_once : Replica.t -> unit
+(** One scan-and-zero round; exposed for tests. Must run in a fiber of the
+    replica's host while it is an established leader. *)

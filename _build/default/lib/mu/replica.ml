@@ -1,0 +1,230 @@
+type role = Leader | Follower
+
+type peer = {
+  pid : int;
+  repl_qp : Rdma.Qp.t;
+  fd_qp : Rdma.Qp.t;
+  fd_cq : Rdma.Cq.t;
+  perm_qp : Rdma.Qp.t;
+  perm_cq : Rdma.Cq.t;
+  req_qp : Rdma.Qp.t;
+  req_cq : Rdma.Cq.t;
+  misc_qp : Rdma.Qp.t;
+  misc_cq : Rdma.Cq.t;
+  remote_log_mr : Rdma.Mr.t;
+  remote_bg_mr : Rdma.Mr.t;
+}
+
+type t = {
+  config : Config.t;
+  host : Sim.Host.t;
+  id : int;
+  log : Log.t;
+  bg_mr : Rdma.Mr.t;
+  repl_cq : Rdma.Cq.t;
+  mutable peers : peer list;
+  mutable leader_estimate : int;
+  scores : (int, int) Hashtbl.t;
+  alive : (int, bool) Hashtbl.t;
+  last_hb : (int, int64) Hashtbl.t;
+  mutable role : role;
+  mutable role_generation : int;
+  mutable perm_holder : int option;
+  last_granted : (int, int64) Hashtbl.t;
+  mutable req_gen : int64;
+  mutable confirmed : int list;
+  mutable need_new_followers : bool;
+  mutable prop_num : int64;
+  mutable skip_prepare : bool;
+  mutable wr_seq : int;
+  inflight : (int, int * int) Hashtbl.t;
+  mutable propose_started_at : int option;
+  mutable applied : int;
+  mutable on_commit : int -> bytes -> unit;
+  mutable zeroed_up_to : int;
+  metrics : Metrics.t;
+  mutable removed : bool;
+  mutable stop : bool;
+}
+
+(* Background-plane layout: heartbeat counter, log head, then the
+   permission request and ack arrays indexed by replica id. Arrays are
+   sized generously (64 replicas) so membership additions need no
+   re-registration. *)
+let max_replicas = 64
+let bg_hb_offset = 0
+let bg_log_head_offset = 8
+let bg_req_offset id = 16 + (8 * id)
+let bg_ack_offset id = 16 + (8 * max_replicas) + (8 * id)
+let bg_size ~n:_ = 16 + (16 * max_replicas)
+
+let engine t = Sim.Host.engine t.host
+let cal t = Sim.Host.calibration t.host
+
+let create_unwired eng calib config ~id =
+  Config.validate config;
+  let host = Sim.Host.create eng calib ~id ~name:(Printf.sprintf "replica%d" id) in
+  let log_mr =
+    Rdma.Mr.register ~persistent:config.Config.persistent_log host
+      ~size:(Log.required_size ~slots:config.Config.log_slots ~value_cap:config.Config.value_cap)
+      ~access:Rdma.Verbs.access_rw
+  in
+  let bg_mr =
+    Rdma.Mr.register host ~size:(bg_size ~n:config.Config.n) ~access:Rdma.Verbs.access_rw
+  in
+  {
+    config;
+    host;
+    id;
+    log =
+      Log.attach
+        ~canary:(if config.Config.checksum_canary then Log.Checksum else Log.Flag)
+        log_mr ~slots:config.Config.log_slots ~value_cap:config.Config.value_cap;
+    bg_mr;
+    repl_cq = Rdma.Cq.create eng;
+    peers = [];
+    leader_estimate = 0;
+    scores = Hashtbl.create 8;
+    alive = Hashtbl.create 8;
+    last_hb = Hashtbl.create 8;
+    role = Follower;
+    role_generation = 0;
+    perm_holder = None;
+    last_granted = Hashtbl.create 8;
+    req_gen = 0L;
+    confirmed = [];
+    need_new_followers = true;
+    prop_num = 0L;
+    skip_prepare = false;
+    wr_seq = 0;
+    inflight = Hashtbl.create 64;
+    propose_started_at = None;
+    applied = 0;
+    on_commit = (fun _ _ -> ());
+    zeroed_up_to = 0;
+    metrics = Metrics.create ();
+    removed = false;
+    stop = false;
+  }
+
+let already_wired a b = List.exists (fun p -> p.pid = b.id) a.peers
+
+let wire a b =
+  if a.id = b.id then invalid_arg "Replica.wire: cannot wire a replica to itself";
+  if already_wired a b then ()
+  else begin
+    let eng = engine a in
+    let mk_pair cq_a cq_b =
+      let qa = Rdma.Qp.create a.host ~cq:cq_a and qb = Rdma.Qp.create b.host ~cq:cq_b in
+      Rdma.Qp.connect qa qb;
+      (qa, qb)
+    in
+    (* Replication plane: per-replica shared CQ; background channels get a
+       CQ per purpose so each protocol fiber is the sole consumer of its
+       completions. *)
+    let repl_a, repl_b = mk_pair a.repl_cq b.repl_cq in
+    (* The replication QP starts read-only: reads are always safe; writes
+       require a permission grant (§5.2). *)
+    Rdma.Qp.set_access repl_a Rdma.Verbs.access_ro;
+    Rdma.Qp.set_access repl_b Rdma.Verbs.access_ro;
+    let fd_cq_a = Rdma.Cq.create eng and fd_cq_b = Rdma.Cq.create eng in
+    let fd_a, fd_b = mk_pair fd_cq_a fd_cq_b in
+    let perm_cq_a = Rdma.Cq.create eng and perm_cq_b = Rdma.Cq.create eng in
+    let perm_a, perm_b = mk_pair perm_cq_a perm_cq_b in
+    let req_cq_a = Rdma.Cq.create eng and req_cq_b = Rdma.Cq.create eng in
+    let req_a, req_b = mk_pair req_cq_a req_cq_b in
+    let misc_cq_a = Rdma.Cq.create eng and misc_cq_b = Rdma.Cq.create eng in
+    let misc_a, misc_b = mk_pair misc_cq_a misc_cq_b in
+    (* Background-plane QPs are always fully open (§3.2). *)
+    List.iter
+      (fun qp -> Rdma.Qp.set_access qp Rdma.Verbs.access_rw)
+      [ fd_a; fd_b; perm_a; perm_b; req_a; req_b; misc_a; misc_b ];
+    let peer_of_b =
+      {
+        pid = b.id;
+        repl_qp = repl_a;
+        fd_qp = fd_a;
+        fd_cq = fd_cq_a;
+        perm_qp = perm_a;
+        perm_cq = perm_cq_a;
+        req_qp = req_a;
+        req_cq = req_cq_a;
+        misc_qp = misc_a;
+        misc_cq = misc_cq_a;
+        remote_log_mr = Log.mr b.log;
+        remote_bg_mr = b.bg_mr;
+      }
+    in
+    let peer_of_a =
+      {
+        pid = a.id;
+        repl_qp = repl_b;
+        fd_qp = fd_b;
+        fd_cq = fd_cq_b;
+        perm_qp = perm_b;
+        perm_cq = perm_cq_b;
+        req_qp = req_b;
+        req_cq = req_cq_b;
+        misc_qp = misc_b;
+        misc_cq = misc_cq_b;
+        remote_log_mr = Log.mr a.log;
+        remote_bg_mr = a.bg_mr;
+      }
+    in
+    let insert ps p = List.sort (fun x y -> compare x.pid y.pid) (p :: ps) in
+    a.peers <- insert a.peers peer_of_b;
+    b.peers <- insert b.peers peer_of_a
+  end
+
+let create_cluster eng calib config =
+  let replicas = Array.init config.Config.n (fun id -> create_unwired eng calib config ~id) in
+  Array.iteri
+    (fun i a -> Array.iteri (fun j b -> if i < j then wire a b) replicas)
+    replicas;
+  replicas
+
+let peer_opt t id = List.find_opt (fun p -> p.pid = id) t.peers
+
+let peer t id =
+  match peer_opt t id with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Replica.peer: replica %d has no peer %d" t.id id)
+
+let fresh_wr_id t =
+  t.wr_seq <- t.wr_seq + 1;
+  t.wr_seq
+
+let is_leader t = t.role = Leader
+let quorum_size t = List.length t.peers + 1
+let majority t = (quorum_size t / 2) + 1
+
+let fresh_prop_num t ~above =
+  (* Proposal numbers are congruent to the replica id modulo a fixed
+     stride, so distinct leaders never collide. *)
+  let stride = Int64.of_int max_replicas in
+  let id = Int64.of_int t.id in
+  let above = Int64.max above t.prop_num in
+  let k = Int64.div above stride in
+  let candidate = Int64.add (Int64.mul (Int64.add k 1L) stride) id in
+  let candidate =
+    if Int64.compare candidate above > 0 then candidate
+    else Int64.add candidate stride
+  in
+  t.prop_num <- candidate;
+  candidate
+
+let apply_committed t =
+  let fuo = Log.fuo t.log in
+  while t.applied < fuo do
+    (match Log.read_slot t.log t.applied with
+    | Some { Log.value; _ } ->
+      t.metrics.Metrics.entries_applied <- t.metrics.Metrics.entries_applied + 1;
+      t.on_commit t.applied value
+    | None ->
+      (* A decided slot below the FUO is never empty (Lemma A.11). *)
+      invalid_arg
+        (Printf.sprintf "replica %d: hole at applied index %d (fuo %d)" t.id t.applied fuo));
+    t.applied <- t.applied + 1;
+    (* Publish the new log head for the recycler (§5.3). *)
+    Rdma.Mr.set_i64 t.bg_mr ~off:bg_log_head_offset (Int64.of_int t.applied)
+  done

@@ -1,0 +1,118 @@
+(** Per-replica state and cluster wiring (Fig. 1 of the paper).
+
+    A replica owns:
+    - a {e replication plane}: its consensus log MR and one RC QP per peer
+      sharing one completion queue (§3.2);
+    - a {e background plane}: a small always-readable/writable MR holding
+      the heartbeat counter, the replayer's log-head, and the permission
+      request/ack arrays (§5.1, §5.2), plus dedicated QPs per peer for
+      failure detection, permission traffic and log recycling.
+
+    The modules {!Election}, {!Permissions}, {!Replication}, {!Replayer}
+    and {!Recycler} implement the protocol logic over this state; {!Smr}
+    assembles them. *)
+
+type role = Leader | Follower
+
+(** Handles to one remote peer: our QP endpoints toward it and its
+    exchanged memory-region keys. *)
+type peer = {
+  pid : int;
+  repl_qp : Rdma.Qp.t;
+  fd_qp : Rdma.Qp.t;
+  fd_cq : Rdma.Cq.t;
+  perm_qp : Rdma.Qp.t;
+  perm_cq : Rdma.Cq.t;
+  req_qp : Rdma.Qp.t;
+  req_cq : Rdma.Cq.t;
+  misc_qp : Rdma.Qp.t;
+  misc_cq : Rdma.Cq.t;
+  remote_log_mr : Rdma.Mr.t;
+  remote_bg_mr : Rdma.Mr.t;
+}
+
+type t = {
+  config : Config.t;
+  host : Sim.Host.t;
+  id : int;
+  log : Log.t;
+  bg_mr : Rdma.Mr.t;
+  repl_cq : Rdma.Cq.t;
+  mutable peers : peer list;  (** Excludes self; sorted by id. *)
+  (* --- leader election state (§5.1) --- *)
+  mutable leader_estimate : int;
+  scores : (int, int) Hashtbl.t;  (** Pull-score per peer id. *)
+  alive : (int, bool) Hashtbl.t;
+  last_hb : (int, int64) Hashtbl.t;
+  mutable role : role;
+  mutable role_generation : int;  (** Bumped on every role change. *)
+  (* --- permission state (§5.2) --- *)
+  mutable perm_holder : int option;  (** Who may write my log. *)
+  last_granted : (int, int64) Hashtbl.t;  (** Per requester: last acked gen. *)
+  mutable req_gen : int64;  (** My own request generation counter. *)
+  (* --- replication-plane leader state (§4) --- *)
+  mutable confirmed : int list;  (** Confirmed followers (peer ids). *)
+  mutable need_new_followers : bool;
+      (** Set when just elected or after an abort (Listing 2 line 7). *)
+  mutable prop_num : int64;
+  mutable skip_prepare : bool;  (** Omit-prepare optimization (§4.2). *)
+  mutable wr_seq : int;
+  inflight : (int, int * int) Hashtbl.t;  (** wr_id → (peer id, tag). *)
+  mutable propose_started_at : int option;  (** For fate sharing (§5.1). *)
+  (* --- execution --- *)
+  mutable applied : int;  (** Log head: entries injected into the app. *)
+  mutable on_commit : int -> bytes -> unit;
+  mutable zeroed_up_to : int;  (** Recycling low-water mark (§5.3). *)
+  metrics : Metrics.t;  (** Operation counters for observability. *)
+  mutable removed : bool;  (** Membership: removed from the group (§5.4). *)
+  mutable stop : bool;  (** Shut this replica's fibers down. *)
+}
+
+(** {1 Background-plane memory layout} *)
+
+val bg_hb_offset : int
+val bg_log_head_offset : int
+val bg_req_offset : int -> int
+(** Offset of the permission-request slot written by replica [id]. *)
+
+val bg_ack_offset : int -> int
+(** Offset of the permission-ack slot written by replica [id]. *)
+
+val bg_size : n:int -> int
+
+(** {1 Construction} *)
+
+val create_cluster :
+  Sim.Engine.t -> Sim.Calibration.t -> Config.t -> t array
+(** Create [config.n] replicas on fresh hosts and fully connect their
+    planes. Replica ids are 0..n-1; replica 0 is the expected first leader
+    (lowest id, §5.1). *)
+
+val create_unwired :
+  Sim.Engine.t -> Sim.Calibration.t -> Config.t -> id:int -> t
+(** A replica not yet connected to anyone (for membership changes). *)
+
+val wire : t -> t -> unit
+(** Connect the planes of two replicas (idempotent per pair). *)
+
+(** {1 Accessors and helpers} *)
+
+val engine : t -> Sim.Engine.t
+val cal : t -> Sim.Calibration.t
+val peer : t -> int -> peer
+val peer_opt : t -> int -> peer option
+val fresh_wr_id : t -> int
+val is_leader : t -> bool
+val majority : t -> int
+
+val quorum_size : t -> int
+(** Current group size (peers + self), accounting for removals. *)
+
+val fresh_prop_num : t -> above:int64 -> int64
+(** Next proposal number for this replica: unique across replicas
+    (multiples of n plus id) and strictly greater than [above]. *)
+
+val apply_committed : t -> unit
+(** Inject every decided-but-unapplied entry below the local FUO into the
+    application and advance the log head (shared by leader and replayer
+    paths so nothing is applied twice). *)

@@ -1,0 +1,409 @@
+exception Aborted of string
+
+let log_src = Logs.Src.create "mu.replication" ~doc:"Replication plane"
+
+module L = (val Logs.src_log log_src : Logs.LOG)
+
+let abort t reason =
+  L.debug (fun m ->
+      m "t=%dns replica %d aborts propose: %s"
+        (Sim.Engine.now (Replica.engine t))
+        t.Replica.id reason);
+  t.Replica.metrics.Metrics.aborts <- t.Replica.metrics.Metrics.aborts + 1;
+  t.Replica.need_new_followers <- true;
+  t.Replica.skip_prepare <- false;
+  Hashtbl.reset t.Replica.inflight;
+  raise (Aborted reason)
+
+let confirmed_peers t =
+  List.filter_map (fun id -> Replica.peer_opt t id) t.Replica.confirmed
+
+let remote_majority t = Replica.majority t - 1
+
+(* The leader's writes to its own log are plain stores, not fenced by QP
+   permissions; awareness of revocation (Appendix A.1: "a leader cannot
+   lose permission between two of its writes ... without being aware")
+   must therefore be checked explicitly against the local permission
+   module before every local log mutation in the leader path. The
+   permission manager moves [perm_holder] off this replica the instant it
+   grants a rising leader, so a deposed leader aborts here instead of
+   clobbering a decided entry in its own log. *)
+let check_own_permission t =
+  if t.Replica.perm_holder <> Some t.Replica.id then
+    abort t "lost write permission on own log"
+
+(* --- completion bookkeeping ------------------------------------------- *)
+
+let fresh_tag =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let post_tracked t (p : Replica.peer) ~tag ~post =
+  let wr = Replica.fresh_wr_id t in
+  Hashtbl.replace t.Replica.inflight wr (p.Replica.pid, tag);
+  post wr
+
+(* Consume completions until [needed] successes with tag [tag] have been
+   seen; returns the peer ids that succeeded. Completions from older tags
+   are discarded if successful — but any error completion means this
+   leader lost write permission somewhere (or a follower died) and aborts
+   the call, matching "abort if any write fails" (Listing 2). *)
+let await_tag t ~tag ~needed =
+  let successes = ref [] in
+  while List.length !successes < needed do
+    let wc = Rdma.Cq.await t.Replica.repl_cq in
+    match Hashtbl.find_opt t.Replica.inflight wc.Rdma.Verbs.wr_id with
+    | None -> () (* stale: belongs to an aborted round *)
+    | Some (pid, tg) -> (
+      Hashtbl.remove t.Replica.inflight wc.Rdma.Verbs.wr_id;
+      match wc.Rdma.Verbs.status with
+      | Rdma.Verbs.Success -> if tg = tag then successes := pid :: !successes
+      | Rdma.Verbs.Remote_access_error | Rdma.Verbs.Operation_timeout | Rdma.Verbs.Flushed
+        ->
+        abort t
+          (Fmt.str "operation on peer %d failed: %a" pid Rdma.Verbs.pp_wc_status
+             wc.Rdma.Verbs.status))
+  done;
+  !successes
+
+let drain_completion t ~timeout =
+  match Rdma.Cq.await_timeout t.Replica.repl_cq timeout with
+  | None -> None
+  | Some wc -> (
+    match Hashtbl.find_opt t.Replica.inflight wc.Rdma.Verbs.wr_id with
+    | None -> None
+    | Some (pid, tg) -> (
+      Hashtbl.remove t.Replica.inflight wc.Rdma.Verbs.wr_id;
+      match wc.Rdma.Verbs.status with
+      | Rdma.Verbs.Success -> Some (pid, tg)
+      | Rdma.Verbs.Remote_access_error | Rdma.Verbs.Operation_timeout | Rdma.Verbs.Flushed
+        ->
+        abort t
+          (Fmt.str "operation on peer %d failed: %a" pid Rdma.Verbs.pp_wc_status
+             wc.Rdma.Verbs.status)))
+
+(* --- permission acquisition (Listing 2, lines 8-12) ------------------- *)
+
+let acquire_followers t =
+  let host = t.Replica.host in
+  let gen = Permissions.request_permissions t in
+  let deadline = Sim.Engine.now (Replica.engine t) + 500_000_000 in
+  let rec wait_majority () =
+    let acks = Permissions.acked t ~gen in
+    if List.length acks >= Replica.majority t then acks
+    else if Sim.Engine.now (Replica.engine t) > deadline then
+      abort t "no majority of permission acks"
+    else begin
+      Sim.Host.idle host Permissions.poll_interval;
+      wait_majority ()
+    end
+  in
+  let acks = wait_majority () in
+  (* Growing confirmed followers (§4.2): wait briefly for the stragglers so
+     timely replicas are not left behind. *)
+  let acks =
+    if List.length acks >= Replica.quorum_size t then acks
+    else begin
+      Sim.Host.idle host t.Replica.config.Config.grow_followers_grace;
+      Permissions.acked t ~gen
+    end
+  in
+  let cf = List.filter (fun id -> id <> t.Replica.id) acks in
+  if List.length cf < remote_majority t then abort t "lost permission acks";
+  (* Our requester-side endpoints may still be in ERR from when we were
+     deposed; the grant implies the connection was re-established. *)
+  List.iter
+    (fun id ->
+      match Replica.peer_opt t id with
+      | Some p -> Rdma.Qp.repair p.Replica.repl_qp
+      | None -> ())
+    cf;
+  t.Replica.confirmed <- cf;
+  t.Replica.need_new_followers <- false;
+  t.Replica.skip_prepare <- false
+
+(* --- leader catch-up (Listing 5) --------------------------------------- *)
+
+let read_fuos t =
+  let cf = confirmed_peers t in
+  let tag = fresh_tag () in
+  let bufs =
+    List.map
+      (fun p ->
+        let buf = Bytes.create 8 in
+        post_tracked t p ~tag ~post:(fun wr_id ->
+            Rdma.Qp.post_read p.Replica.repl_qp ~wr_id ~dst:buf ~dst_off:0 ~len:8
+              ~mr:p.Replica.remote_log_mr ~src_off:Log.fuo_offset);
+        (p, buf))
+      cf
+  in
+  (* Listing 5 reads every confirmed follower's FUO ("abort if any read
+     fails"), so we wait for all of them. *)
+  let _ = await_tag t ~tag ~needed:(List.length cf) in
+  List.map (fun (p, buf) -> (p, Int64.to_int (Bytes.get_int64_le buf 0))) bufs
+
+let copy_remote_slots t (p : Replica.peer) ~from_idx ~to_idx =
+  let log = t.Replica.log in
+  let slot_size = Log.slot_size log in
+  for idx = from_idx to to_idx - 1 do
+    let buf = Bytes.create slot_size in
+    let tag = fresh_tag () in
+    post_tracked t p ~tag ~post:(fun wr_id ->
+        Rdma.Qp.post_read p.Replica.repl_qp ~wr_id ~dst:buf ~dst_off:0 ~len:slot_size
+          ~mr:p.Replica.remote_log_mr ~src_off:(Log.slot_offset log idx));
+    let _ = await_tag t ~tag ~needed:1 in
+    if
+      Log.decode_slot
+        ~canary:(if t.Replica.config.Config.checksum_canary then Log.Checksum else Log.Flag)
+        buf
+      = None
+    then
+      abort t
+        (Printf.sprintf "catch-up read of slot %d from %d returned an empty entry" idx
+           p.Replica.pid);
+    Log.write_slot_raw_local log idx buf
+  done
+
+let leader_catch_up t fuos =
+  let log = t.Replica.log in
+  let my_fuo = Log.fuo log in
+  match List.fold_left (fun acc (p, f) -> match acc with Some (_, best) when best >= f -> acc | _ -> Some (p, f)) None fuos with
+  | Some (p, best) when best > my_fuo ->
+    t.Replica.metrics.Metrics.catch_up_entries <-
+      t.Replica.metrics.Metrics.catch_up_entries + (best - my_fuo);
+    copy_remote_slots t p ~from_idx:my_fuo ~to_idx:best;
+    Log.set_fuo log best;
+    Replica.apply_committed t
+  | Some _ | None -> ()
+
+(* --- update followers (Listing 6) -------------------------------------- *)
+
+let update_followers t fuos =
+  let log = t.Replica.log in
+  let my_fuo = Log.fuo log in
+  let tag = fresh_tag () in
+  let posted = ref 0 in
+  List.iter
+    (fun (p, f) ->
+      if f < my_fuo then begin
+        for idx = f to my_fuo - 1 do
+          (* A decided slot we are about to copy must never be empty; an
+             empty image here would mean the entry was recycled while some
+             follower still needed it — fail loudly rather than plant a
+             hole in its log (cf. Lemma A.11 and §5.3). *)
+          if Log.read_slot log idx = None then
+            abort t
+              (Printf.sprintf "slot %d needed by follower %d was recycled" idx
+                 p.Replica.pid);
+          let img = Log.read_slot_raw log idx in
+          t.Replica.metrics.Metrics.update_entries <-
+            t.Replica.metrics.Metrics.update_entries + 1;
+          post_tracked t p ~tag ~post:(fun wr_id ->
+              Rdma.Qp.post_write p.Replica.repl_qp ~wr_id ~src:img ~src_off:0
+                ~len:(Bytes.length img) ~mr:p.Replica.remote_log_mr
+                ~dst_off:(Log.slot_offset log idx));
+          incr posted
+        done;
+        let fuo_buf = Bytes.create 8 in
+        Bytes.set_int64_le fuo_buf 0 (Int64.of_int my_fuo);
+        post_tracked t p ~tag ~post:(fun wr_id ->
+            Rdma.Qp.post_write p.Replica.repl_qp ~wr_id ~src:fuo_buf ~src_off:0 ~len:8
+              ~mr:p.Replica.remote_log_mr ~dst_off:Log.fuo_offset);
+        incr posted
+      end)
+    fuos;
+  if !posted > 0 then ignore (await_tag t ~tag ~needed:!posted)
+
+let become_leader t =
+  acquire_followers t;
+  let fuos = read_fuos t in
+  leader_catch_up t fuos;
+  (* update_followers re-reads our FUO, so it uses the post-catch-up one. *)
+  update_followers t fuos
+
+(* Growing confirmed followers (§4.2, A.4.4): a replica whose permission
+   ack arrived after the leader settled on a majority joins the set on the
+   next propose — after being brought up to date, "the behavior is the
+   same as if ℓ just became leader and its initial confirmed followers set
+   was C ∪ S". *)
+let grow_followers t =
+  let acks = Permissions.acked t ~gen:t.Replica.req_gen in
+  let newcomers =
+    List.filter
+      (fun id -> id <> t.Replica.id && not (List.mem id t.Replica.confirmed))
+      acks
+  in
+  if newcomers <> [] then begin
+    List.iter
+      (fun id ->
+        match Replica.peer_opt t id with
+        | Some p -> Rdma.Qp.repair p.Replica.repl_qp
+        | None -> ())
+      newcomers;
+    t.Replica.metrics.Metrics.followers_grown <-
+      t.Replica.metrics.Metrics.followers_grown + List.length newcomers;
+    t.Replica.confirmed <- List.sort compare (t.Replica.confirmed @ newcomers);
+    (* The enlarged set behaves like a fresh one: catch up both ways and
+       re-run the prepare phase before the next accept (A.4.5 (b)). *)
+    let fuos = read_fuos t in
+    leader_catch_up t fuos;
+    update_followers t fuos;
+    t.Replica.skip_prepare <- false
+  end
+
+(* --- prepare phase (Listing 2, lines 17-29) ---------------------------- *)
+
+let read_min_proposals t =
+  let cf = confirmed_peers t in
+  let tag = fresh_tag () in
+  let bufs =
+    List.map
+      (fun p ->
+        let buf = Bytes.create 8 in
+        post_tracked t p ~tag ~post:(fun wr_id ->
+            Rdma.Qp.post_read p.Replica.repl_qp ~wr_id ~dst:buf ~dst_off:0 ~len:8
+              ~mr:p.Replica.remote_log_mr ~src_off:Log.min_proposal_offset);
+        (p.Replica.pid, buf))
+      cf
+  in
+  (* Listing 2 prepare: every confirmed follower must answer ("abort if
+     any read fails") — the value-visibility argument of Invariant A.6
+     needs the full set, not just a majority. *)
+  let ok = await_tag t ~tag ~needed:(List.length cf) in
+  List.filter_map
+    (fun (pid, buf) -> if List.mem pid ok then Some (Bytes.get_int64_le buf 0) else None)
+    bufs
+
+let prepare_phase t ~idx =
+  t.Replica.metrics.Metrics.prepare_phases <- t.Replica.metrics.Metrics.prepare_phases + 1;
+  let log = t.Replica.log in
+  let minps = read_min_proposals t in
+  check_own_permission t;
+  let highest =
+    List.fold_left
+      (fun acc mp -> if Int64.compare mp acc > 0 then mp else acc)
+      (Log.min_proposal log) minps
+  in
+  let prop_num = Replica.fresh_prop_num t ~above:highest in
+  (* Write the new proposal number into each confirmed follower's
+     minProposal, then read their slot at [idx]; RC FIFO ensures the write
+     lands before the read executes. *)
+  Log.set_min_proposal log prop_num;
+  let cf = confirmed_peers t in
+  let tag = fresh_tag () in
+  let prop_buf = Bytes.create 8 in
+  Bytes.set_int64_le prop_buf 0 prop_num;
+  let slot_size = Log.slot_size log in
+  let bufs =
+    List.map
+      (fun p ->
+        post_tracked t p ~tag:(-1) ~post:(fun wr_id ->
+            Rdma.Qp.post_write p.Replica.repl_qp ~wr_id ~src:prop_buf ~src_off:0 ~len:8
+              ~mr:p.Replica.remote_log_mr ~dst_off:Log.min_proposal_offset);
+        let buf = Bytes.create slot_size in
+        post_tracked t p ~tag ~post:(fun wr_id ->
+            Rdma.Qp.post_read p.Replica.repl_qp ~wr_id ~dst:buf ~dst_off:0 ~len:slot_size
+              ~mr:p.Replica.remote_log_mr ~src_off:(Log.slot_offset log idx));
+        (p.Replica.pid, buf))
+      cf
+  in
+  let ok = await_tag t ~tag ~needed:(List.length cf) in
+  let canary =
+    if t.Replica.config.Config.checksum_canary then Log.Checksum else Log.Flag
+  in
+  let remote_slots =
+    List.filter_map
+      (fun (pid, buf) -> if List.mem pid ok then Log.decode_slot ~canary buf else None)
+      bufs
+  in
+  let all_slots =
+    match Log.read_slot log idx with Some s -> s :: remote_slots | None -> remote_slots
+  in
+  match all_slots with
+  | [] ->
+    (* Only empty slots: adopt our own value and omit the prepare phase
+       from now on (§4.2, Corollary A.12). *)
+    if not t.Replica.config.Config.disable_omit_prepare then
+      t.Replica.skip_prepare <- true;
+    (prop_num, None)
+  | _ :: _ ->
+    let best =
+      List.fold_left
+        (fun (acc : Log.slot) (s : Log.slot) ->
+          if Int64.compare s.Log.proposal acc.Log.proposal > 0 then s else acc)
+        (List.hd all_slots) (List.tl all_slots)
+    in
+    (prop_num, Some best.Log.value)
+
+(* --- accept phase (Listing 2, lines 31-37) ----------------------------- *)
+
+let stage_entry t value =
+  let c = Replica.cal t in
+  (* Copying the request into the RDMA-registered buffer is the leader's
+     per-request CPU cost — the throughput wall of Fig. 7. *)
+  Sim.Host.cpu t.Replica.host
+    (c.Sim.Calibration.memcpy_request
+    + int_of_float (float_of_int (Bytes.length value) *. c.Sim.Calibration.memcpy_byte));
+  Log.encode_slot t.Replica.log ~proposal:t.Replica.prop_num ~value
+
+let post_accept t ~tag ~idx ~img =
+  check_own_permission t;
+  let log = t.Replica.log in
+  (* A durable local append must also reach the persistence domain. *)
+  if t.Replica.config.Config.persistent_log then
+    Sim.Host.cpu t.Replica.host (Replica.cal t).Sim.Calibration.pmem_flush;
+  Log.write_slot_raw_local log idx img;
+  List.iter
+    (fun p ->
+      post_tracked t p ~tag ~post:(fun wr_id ->
+          Rdma.Qp.post_write p.Replica.repl_qp ~wr_id ~src:img ~src_off:0
+            ~len:(Bytes.length img) ~mr:p.Replica.remote_log_mr
+            ~dst_off:(Log.slot_offset log idx)))
+    (confirmed_peers t)
+
+let accept_phase t ~prop_num ~value ~idx =
+  t.Replica.metrics.Metrics.accept_rounds <- t.Replica.metrics.Metrics.accept_rounds + 1;
+  let img = Log.encode_slot t.Replica.log ~proposal:prop_num ~value in
+  let tag = fresh_tag () in
+  post_accept t ~tag ~idx ~img;
+  ignore (await_tag t ~tag ~needed:(remote_majority t))
+
+(* --- log-space backpressure (§5.3) ------------------------------------- *)
+
+let wait_log_space t ~idx =
+  let cfg = t.Replica.config in
+  let limit = cfg.Config.log_slots - cfg.Config.recycle_slack in
+  while idx - t.Replica.zeroed_up_to >= limit do
+    if t.Replica.stop then abort t "stopped";
+    Sim.Host.idle t.Replica.host 10_000
+  done
+
+(* --- propose (Listing 2) ------------------------------------------------ *)
+
+let propose t value =
+  if t.Replica.stop || t.Replica.removed then raise (Aborted "replica stopped");
+  t.Replica.metrics.Metrics.proposes <- t.Replica.metrics.Metrics.proposes + 1;
+  t.Replica.propose_started_at <- Some (Sim.Engine.now (Replica.engine t));
+  Fun.protect
+    ~finally:(fun () -> t.Replica.propose_started_at <- None)
+    (fun () ->
+      if t.Replica.need_new_followers then become_leader t
+      else grow_followers t;
+      let committed_at = ref (-1) in
+      while !committed_at < 0 do
+        let idx = Log.fuo t.Replica.log in
+        wait_log_space t ~idx;
+        let prop_num, adopted =
+          if t.Replica.skip_prepare then (t.Replica.prop_num, None)
+          else prepare_phase t ~idx
+        in
+        let v = match adopted with Some v -> v | None -> value in
+        accept_phase t ~prop_num ~value:v ~idx;
+        Log.set_fuo t.Replica.log (idx + 1);
+        Replica.apply_committed t;
+        if adopted = None then committed_at := idx
+      done;
+      t.Replica.metrics.Metrics.commits <- t.Replica.metrics.Metrics.commits + 1;
+      !committed_at)

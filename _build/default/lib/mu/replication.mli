@@ -1,0 +1,71 @@
+(** The replication plane: Mu's consensus algorithm (§4, Listings 2–6).
+
+    The leader is the only replica that communicates; followers are silent.
+    A propose call:
+
+    + on first use (or after an abort), builds the {e confirmed followers}
+      set by requesting write permission from every replica and waiting
+      for a majority of acks (growing the set with stragglers that answer
+      within a grace period, §4.2 "Growing confirmed followers"); then
+      brings itself up to date with its highest-FUO confirmed follower
+      (Listing 5) and brings the followers up to date (Listing 6);
+    + runs the prepare phase — read each confirmed follower's minProposal,
+      pick a higher proposal number, write it to their minProposals, read
+      their slot at the current FUO, and adopt the value with the highest
+      proposal if any (Listing 2) — unless the {e omit-prepare}
+      optimization is active (§4.2): once a prepare found only empty slots,
+      subsequent proposes go straight to the accept phase;
+    + runs the accept phase: one RDMA Write of the entry (with canary) into
+      each confirmed follower's log, waiting for completion at a majority.
+
+    Any failed operation — which, by the permission invariant, means this
+    leader was deposed or a follower crashed — raises {!Aborted}; the next
+    propose call rebuilds the confirmed-followers set.
+
+    With omit-prepare active the cost of a propose is exactly one parallel
+    RDMA Write to a majority: the paper's headline ~1.3 µs path. *)
+
+exception Aborted of string
+
+val propose : Replica.t -> bytes -> int
+(** [propose r value] replicates [value]; returns the log index at which
+    [value] itself was committed (the call re-commits any adopted values
+    it discovers on the way, per Listing 2). Must run in a fiber of [r]'s
+    host, and [r] must believe itself leader. Raises {!Aborted} on any
+    failed operation or lost permission. *)
+
+val become_leader : Replica.t -> unit
+(** The leader-change preamble: permission acquisition, confirmed-follower
+    construction, leader catch-up and follower update. Called implicitly
+    by {!propose} when needed; exposed for fail-over experiments that time
+    it separately. *)
+
+val abort : Replica.t -> string -> 'a
+(** Mark the replica as needing a new confirmed-followers set and raise
+    {!Aborted}. *)
+
+(** {1 Lower-level helpers for the pipelined fast path (§7.4)}
+
+    These expose the accept-phase plumbing so that {!Smr} can keep several
+    outstanding slot writes in flight. They assume omit-prepare is active. *)
+
+val stage_entry : Replica.t -> bytes -> Bytes.t
+(** Encode an entry image with the current proposal number and pay the
+    leader-side staging cost (the request memcpy — the Fig. 7 throughput
+    wall). *)
+
+val post_accept : Replica.t -> tag:int -> idx:int -> img:Bytes.t -> unit
+(** Write the entry image locally and post one RDMA Write per confirmed
+    follower for slot [idx], tagging completions with [tag]. *)
+
+val remote_majority : Replica.t -> int
+(** Number of remote completions that constitute a majority with self. *)
+
+val drain_completion : Replica.t -> timeout:int -> (int * int) option
+(** Consume one completion from the replication CQ: [Some (peer, tag)] on
+    success, [None] on timeout or a stale (unmatched) completion. Raises
+    {!Aborted} on an error completion. *)
+
+val wait_log_space : Replica.t -> idx:int -> unit
+(** Block while slot [idx] would overrun the circular log (§5.3 — "the log
+    is never completely full"); the recycler frees space. *)

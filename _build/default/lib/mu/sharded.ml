@@ -1,0 +1,24 @@
+type t = { groups : Smr.t array }
+
+let create engine cal config ~shards ~make_app =
+  if shards < 1 then invalid_arg "Sharded.create: need at least one shard";
+  {
+    groups =
+      Array.init shards (fun shard ->
+          Smr.create engine cal config ~make_app:(fun replica -> make_app ~shard ~replica));
+  }
+
+let start t = Array.iter Smr.start t.groups
+let stop t = Array.iter Smr.stop t.groups
+let shards t = Array.length t.groups
+let shard t i = t.groups.(i)
+
+let shard_of_key t key =
+  (* Stable string hash; independent of OCaml's randomized hashing. *)
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) key;
+  !h mod Array.length t.groups
+
+let submit_async t ~key payload = Smr.submit_async t.groups.(shard_of_key t key) payload
+let submit t ~key payload = Smr.submit t.groups.(shard_of_key t key) payload
+let wait_live t = Array.iter Smr.wait_live t.groups

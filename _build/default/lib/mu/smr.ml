@@ -1,0 +1,466 @@
+type app = { apply : bytes -> bytes; snapshot : unit -> bytes; install : bytes -> unit }
+
+let stateless_app apply = { apply; snapshot = (fun () -> Bytes.empty); install = ignore }
+
+type request = { payload : bytes; resp : bytes Sim.Engine.Ivar.ivar }
+
+type t = {
+  engine : Sim.Engine.t;
+  calibration : Sim.Calibration.t;
+  cfg : Config.t;
+  mutable replicas : Replica.t array;
+  mutable apps : app array;
+  incoming : request Sim.Engine.Chan.chan;
+  (* Leader-side response cache: (replica id, slot index) → responses of
+     the batch committed at that slot, filled by the on-commit hook. *)
+  responses : (int * int, bytes list) Hashtbl.t;
+  mutable next_id : int;
+  mutable stopped : bool;
+}
+
+let engine t = t.engine
+let config t = t.cfg
+let replicas t = t.replicas
+let replica t id = t.replicas.(id)
+
+(* --- batch framing ----------------------------------------------------- *)
+
+let config_marker = 0xFFFFFFFFl
+
+type config_op = Remove of int | Add of int
+
+let encode_batch payloads =
+  let total =
+    List.fold_left (fun acc p -> acc + 4 + Bytes.length p) 4 payloads
+  in
+  let buf = Bytes.create total in
+  Bytes.set_int32_le buf 0 (Int32.of_int (List.length payloads));
+  let off = ref 4 in
+  List.iter
+    (fun p ->
+      Bytes.set_int32_le buf !off (Int32.of_int (Bytes.length p));
+      Bytes.blit p 0 buf (!off + 4) (Bytes.length p);
+      off := !off + 4 + Bytes.length p)
+    payloads;
+  buf
+
+let encode_config_op op =
+  let buf = Bytes.create 9 in
+  Bytes.set_int32_le buf 0 config_marker;
+  (match op with
+  | Remove id ->
+    Bytes.set buf 4 '\001';
+    Bytes.set_int32_le buf 5 (Int32.of_int id)
+  | Add id ->
+    Bytes.set buf 4 '\002';
+    Bytes.set_int32_le buf 5 (Int32.of_int id));
+  buf
+
+let decode_config_op value =
+  if Bytes.length value < 9 || Bytes.get_int32_le value 0 <> config_marker then None
+  else
+    let id = Int32.to_int (Bytes.get_int32_le value 5) in
+    match Bytes.get value 4 with
+    | '\001' -> Some (Remove id)
+    | '\002' -> Some (Add id)
+    | _ -> None
+
+let decode_batch value =
+  if Bytes.length value < 4 then Some []
+  else if Bytes.get_int32_le value 0 = config_marker then None
+  else begin
+    let count = Int32.to_int (Bytes.get_int32_le value 0) in
+    let off = ref 4 in
+    let payloads = ref [] in
+    (try
+       for _ = 1 to count do
+         let len = Int32.to_int (Bytes.get_int32_le value !off) in
+         payloads := Bytes.sub value (!off + 4) len :: !payloads;
+         off := !off + 4 + len
+       done
+     with Invalid_argument _ -> ());
+    Some (List.rev !payloads)
+  end
+
+let noop = encode_batch []
+
+let mu_log_fuo_offset = Log.fuo_offset
+
+(* --- commit hook -------------------------------------------------------- *)
+
+let apply_config _t (r : Replica.t) op =
+  match op with
+  | Remove id ->
+    if id = r.Replica.id then begin
+      r.Replica.removed <- true;
+      r.Replica.stop <- true
+    end
+    else begin
+      r.Replica.peers <- List.filter (fun p -> p.Replica.pid <> id) r.Replica.peers;
+      Hashtbl.remove r.Replica.alive id;
+      Hashtbl.remove r.Replica.scores id;
+      if List.mem id r.Replica.confirmed then begin
+        r.Replica.confirmed <- List.filter (fun c -> c <> id) r.Replica.confirmed;
+        r.Replica.need_new_followers <- true
+      end
+    end
+  | Add _ ->
+    (* Wiring happens out of band in [add_replica]; the entry serializes
+       the membership change in the log (§5.4). *)
+    ()
+
+let install_commit_hook t (r : Replica.t) =
+  r.Replica.on_commit <-
+    (fun idx value ->
+      match decode_batch value with
+      | None ->
+        (match decode_config_op value with
+        | Some op -> apply_config t r op
+        | None -> ())
+      | Some payloads ->
+        let app = t.apps.(r.Replica.id) in
+        let resps = List.map (fun p -> app.apply p) payloads in
+        if r.Replica.role = Replica.Leader then
+          Hashtbl.replace t.responses (r.Replica.id, idx) resps)
+
+(* --- leader service ----------------------------------------------------- *)
+
+let attach_cost t =
+  match t.cfg.Config.attach with
+  | Config.Standalone -> 0
+  | Config.Direct -> t.calibration.Sim.Calibration.direct_interference
+  | Config.Handover -> t.calibration.Sim.Calibration.handover_hop
+
+let stage_cost t payload_len =
+  t.calibration.Sim.Calibration.memcpy_request
+  + int_of_float (float_of_int payload_len *. t.calibration.Sim.Calibration.memcpy_byte)
+
+let requeue t reqs = List.iter (fun req -> Sim.Engine.Chan.send t.incoming req) reqs
+
+let fill_responses t (r : Replica.t) idx reqs =
+  match Hashtbl.find_opt t.responses (r.Replica.id, idx) with
+  | Some resps when List.length resps = List.length reqs ->
+    Hashtbl.remove t.responses (r.Replica.id, idx);
+    List.iter2 (fun req resp -> ignore (Sim.Engine.Ivar.try_fill req.resp resp)) reqs resps
+  | Some _ | None ->
+    (* The batch executed under a different role or got superseded; the
+       requests were (or will be) re-proposed. *)
+    ()
+
+let gather_batch t first =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match Sim.Engine.Chan.poll t.incoming with
+      | None -> List.rev acc
+      | Some req -> go (req :: acc) (k - 1)
+  in
+  go [ first ] (t.cfg.Config.max_batch - 1)
+
+let establish () (r : Replica.t) =
+  try
+    ignore (Replication.propose r noop);
+    true
+  with Replication.Aborted _ ->
+    Sim.Host.idle r.Replica.host 50_000;
+    false
+
+(* Simple service: one propose at a time (Figs. 3-5 configuration). *)
+let serve_simple t (r : Replica.t) =
+  let c = Replica.cal r in
+  match Sim.Engine.Chan.recv_timeout t.incoming c.Sim.Calibration.fd_read_interval with
+  | None -> ()
+  | Some first ->
+    if r.Replica.role <> Replica.Leader then requeue t [ first ]
+    else begin
+      let reqs = gather_batch t first in
+      Sim.Host.cpu r.Replica.host (attach_cost t);
+      List.iter
+        (fun req -> Sim.Host.cpu r.Replica.host (stage_cost t (Bytes.length req.payload)))
+        reqs;
+      let value = encode_batch (List.map (fun req -> req.payload) reqs) in
+      match Replication.propose r value with
+      | idx -> fill_responses t r idx reqs
+      | exception Replication.Aborted _ -> requeue t reqs
+    end
+
+(* Pipelined service: a window of outstanding slot writes (Fig. 7). *)
+type pending = { idx : int; mutable acks : int; reqs : request list }
+
+let serve_pipelined t (r : Replica.t) =
+  let c = Replica.cal r in
+  let pending : pending Queue.t = Queue.create () in
+  let restore_pending () =
+    Queue.iter (fun slot -> requeue t slot.reqs) pending;
+    Queue.clear pending
+  in
+  try
+    (* Make sure omit-prepare is active so the fast path below is valid. *)
+    if r.Replica.need_new_followers || not r.Replica.skip_prepare then
+      ignore (Replication.propose r noop);
+    let needed = Replication.remote_majority r in
+    while r.Replica.role = Replica.Leader && not r.Replica.stop do
+      (* Fill the window. *)
+      let filled = ref false in
+      if Queue.length pending < t.cfg.Config.max_outstanding then begin
+        match Sim.Engine.Chan.poll t.incoming with
+        | Some first ->
+          let reqs = gather_batch t first in
+          Sim.Host.cpu r.Replica.host (attach_cost t);
+          List.iter
+            (fun req ->
+              Sim.Host.cpu r.Replica.host (stage_cost t (Bytes.length req.payload)))
+            reqs;
+          let idx = Log.fuo r.Replica.log + Queue.length pending in
+          Replication.wait_log_space r ~idx;
+          let value = encode_batch (List.map (fun req -> req.payload) reqs) in
+          let img = Log.encode_slot r.Replica.log ~proposal:r.Replica.prop_num ~value in
+          Replication.post_accept r ~tag:idx ~idx ~img;
+          Queue.push { idx; acks = 0; reqs } pending;
+          filled := true
+        | None -> ()
+      end;
+      (* Drain completions; block briefly when there is nothing to send. *)
+      let timeout =
+        if !filled then 0
+        else if Queue.is_empty pending then c.Sim.Calibration.fd_read_interval
+        else 2_000
+      in
+      (if timeout > 0 || not !filled then
+         match Replication.drain_completion r ~timeout with
+         | Some (_, tag) ->
+           Queue.iter (fun slot -> if slot.idx = tag then slot.acks <- slot.acks + 1) pending
+         | None -> ());
+      (* Commit in order from the head of the window. *)
+      let continue_ = ref true in
+      let committed = ref false in
+      while !continue_ && not (Queue.is_empty pending) do
+        let head = Queue.peek pending in
+        if head.acks >= needed then begin
+          ignore (Queue.pop pending);
+          Log.set_fuo r.Replica.log (head.idx + 1);
+          Replica.apply_committed r;
+          fill_responses t r head.idx head.reqs;
+          committed := true
+        end
+        else continue_ := false
+      done;
+      (* Let same-instant client fibers woken by the commit enqueue their
+         next requests before the next fill attempt polls the queue. *)
+      if !committed then Sim.Engine.yield t.engine
+    done;
+    restore_pending ()
+  with Replication.Aborted _ -> restore_pending ()
+
+let leader_service t (r : Replica.t) =
+  let c = Replica.cal r in
+  let pipelined = t.cfg.Config.max_outstanding > 1 in
+  let rec loop () =
+    if r.Replica.stop || r.Replica.removed then ()
+    else begin
+      (if r.Replica.role <> Replica.Leader then
+         Sim.Host.idle r.Replica.host c.Sim.Calibration.fd_read_interval
+       else if r.Replica.need_new_followers then ignore (establish () r)
+       else if pipelined then serve_pipelined t r
+       else serve_simple t r);
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- construction ------------------------------------------------------- *)
+
+let create eng calibration cfg ~make_app =
+  Config.validate cfg;
+  let replicas = Replica.create_cluster eng calibration cfg in
+  let apps = Array.init cfg.Config.n make_app in
+  let t =
+    {
+      engine = eng;
+      calibration;
+      cfg;
+      replicas;
+      apps;
+      incoming = Sim.Engine.Chan.create eng;
+      responses = Hashtbl.create 64;
+      next_id = cfg.Config.n;
+      stopped = false;
+    }
+  in
+  Array.iter (fun r -> install_commit_hook t r) replicas;
+  t
+
+let start_replica ?(client_service = true) t (r : Replica.t) =
+  Election.start r ~on_role_change:(fun _ -> ());
+  Permissions.start r;
+  Replayer.start r;
+  Recycler.start r;
+  if client_service then
+    Sim.Host.spawn r.Replica.host ~name:"leader-service" (fun () -> leader_service t r)
+
+let start ?client_service t = Array.iter (fun r -> start_replica ?client_service t r) t.replicas
+
+let leader t =
+  let leaders =
+    Array.to_list t.replicas
+    |> List.filter (fun r ->
+           (not r.Replica.removed) && (not r.Replica.stop) && Replica.is_leader r)
+  in
+  match leaders with [ r ] -> Some r | [] | _ :: _ :: _ -> None
+
+let serving_leader t =
+  (* Unlike {!leader}, ignores claimants whose process is not running: a
+     paused or crashed ex-leader still carries the Leader role because its
+     role fiber cannot run to demote it. *)
+  let candidates =
+    Array.to_list t.replicas
+    |> List.filter (fun r ->
+           (not r.Replica.removed)
+           && (not r.Replica.stop)
+           && Replica.is_leader r
+           && Sim.Host.liveness r.Replica.host = Sim.Host.Running)
+  in
+  match candidates with [ r ] -> Some r | [] | _ :: _ :: _ -> None
+
+(* A request captured by a leader that then fails stays parked in that
+   leader's hands; like any SMR client, we retransmit after a timeout.
+   Requests may therefore execute more than once across a leader change
+   (at-least-once; see the interface comment). *)
+let client_retry_interval = 2_000_000
+
+let submit_async ?(retry = true) t payload =
+  let resp = Sim.Engine.Ivar.create t.engine in
+  let req = { payload; resp } in
+  Sim.Engine.Chan.send t.incoming req;
+  if retry then
+    Sim.Engine.spawn t.engine ~name:"client-retry" (fun () ->
+        let rec watch () =
+          Sim.Engine.sleep t.engine client_retry_interval;
+          if (not (Sim.Engine.Ivar.is_filled resp)) && not t.stopped then begin
+            Sim.Engine.Chan.send t.incoming req;
+            watch ()
+          end
+        in
+        watch ());
+  resp
+
+let submit t payload = Sim.Engine.Ivar.read (submit_async t payload)
+
+let wait_live t =
+  let live = ref false in
+  while not !live do
+    match leader t with
+    | Some r when (not r.Replica.need_new_followers) && Log.fuo r.Replica.log > 0 ->
+      live := true
+    | Some _ | None -> Sim.Engine.sleep t.engine 20_000
+  done
+
+let stop t =
+  t.stopped <- true;
+  Array.iter (fun r -> r.Replica.stop <- true) t.replicas
+
+(* --- membership (§5.4) -------------------------------------------------- *)
+
+let propose_config_entry t op =
+  let resp = Sim.Engine.Ivar.create t.engine in
+  (* Configuration entries bypass batching: submit directly and spin until
+     some leader commits the entry. *)
+  let payload = encode_config_op op in
+  let committed () =
+    Array.exists
+      (fun (r : Replica.t) ->
+        (not r.Replica.removed)
+        && Replica.is_leader r
+        && Log.fuo r.Replica.log > 0
+        &&
+        let found = ref false in
+        for i = max 0 (r.Replica.applied - 4) to Log.fuo r.Replica.log - 1 do
+          match Log.read_slot r.Replica.log i with
+          | Some { Log.value; _ } when Bytes.equal value payload -> found := true
+          | Some _ | None -> ()
+        done;
+        !found)
+      t.replicas
+  in
+  let rec try_commit attempts =
+    if attempts = 0 then failwith "propose_config_entry: no leader committed the entry";
+    match leader t with
+    | Some r when not r.Replica.need_new_followers -> (
+      (* Run the propose on the leader's host. Applying a Remove drops the
+         peer from the survivors' tables, so capture the handle first: the
+         removed replica still needs to learn the entry committed (commit
+         piggybacking alone would leave it waiting forever for a successor
+         entry it will never receive). One final FUO bump delivers that. *)
+      let removed_peer =
+        match op with Remove id -> Replica.peer_opt r id | Add _ -> None
+      in
+      let done_ = Sim.Engine.Ivar.create t.engine in
+      Sim.Host.spawn r.Replica.host ~name:"config-change" (fun () ->
+          (try
+             let idx = Replication.propose r payload in
+             match removed_peer with
+             | Some p when Rdma.Qp.state p.Replica.repl_qp = Rdma.Verbs.Rts ->
+               let fuo_buf = Bytes.create 8 in
+               Bytes.set_int64_le fuo_buf 0 (Int64.of_int (idx + 1));
+               let wr = Replica.fresh_wr_id r in
+               Hashtbl.replace r.Replica.inflight wr (p.Replica.pid, -3);
+               Rdma.Qp.post_write p.Replica.repl_qp ~wr_id:wr ~src:fuo_buf ~src_off:0
+                 ~len:8 ~mr:p.Replica.remote_log_mr ~dst_off:mu_log_fuo_offset
+             | Some _ | None -> ()
+           with Replication.Aborted _ -> ());
+          Sim.Engine.Ivar.fill done_ ());
+      Sim.Engine.Ivar.read done_;
+      if committed () then Sim.Engine.Ivar.try_fill resp () |> ignore
+      else begin
+        Sim.Engine.sleep t.engine 100_000;
+        try_commit (attempts - 1)
+      end)
+    | Some _ | None ->
+      Sim.Engine.sleep t.engine 100_000;
+      try_commit (attempts - 1)
+  in
+  try_commit 100;
+  Sim.Engine.Ivar.read resp
+
+let remove_replica t ~id = propose_config_entry t (Remove id)
+
+let add_replica t () =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  propose_config_entry t (Add id);
+  let newcomer = Replica.create_unwired t.engine t.calibration t.cfg ~id in
+  Array.iter
+    (fun r -> if not r.Replica.removed then Replica.wire r newcomer)
+    t.replicas;
+  t.replicas <- Array.append t.replicas [| newcomer |];
+  let new_apps = Array.init (id + 1) (fun i -> if i < id then t.apps.(i) else t.apps.(0)) in
+  (* The newcomer runs a fresh instance of the first app; state is then
+     overwritten by the checkpoint. *)
+  t.apps <- new_apps;
+  install_commit_hook t newcomer;
+  (* Checkpoint transfer (§5.4): "Mu uses the standard approach of
+     check-pointing state; we do so from one of the followers" — taking
+     the snapshot off the leader's critical path. Fall back to the leader
+     if no live follower exists. *)
+  (match leader t with
+  | Some l ->
+    let source =
+      Array.to_list t.replicas
+      |> List.find_opt (fun (r : Replica.t) ->
+             r.Replica.id <> l.Replica.id
+             && r.Replica.id <> id
+             && (not r.Replica.removed)
+             && Sim.Host.process_alive r.Replica.host)
+      |> Option.value ~default:l
+    in
+    let snap = t.apps.(source.Replica.id).snapshot () in
+    t.apps.(id).install snap;
+    newcomer.Replica.applied <- source.Replica.applied;
+    Log.set_fuo newcomer.Replica.log source.Replica.applied;
+    newcomer.Replica.zeroed_up_to <- source.Replica.applied;
+    Rdma.Mr.set_i64 newcomer.Replica.bg_mr ~off:Replica.bg_log_head_offset
+      (Int64.of_int newcomer.Replica.applied);
+    l.Replica.need_new_followers <- true
+  | None -> ());
+  start_replica t newcomer;
+  newcomer

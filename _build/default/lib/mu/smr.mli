@@ -1,0 +1,97 @@
+(** The SMR façade (Fig. 1): assembles the replication and background
+    planes on every replica, captures client requests at the leader, and
+    injects committed requests into every replica's application.
+
+    Request flow on the leader: capture (attach-mode cost, §7.1) → stage
+    into the RDMA buffer (memcpy, §7.4) → propose (one-sided replication,
+    §4) → apply → respond. Followers replay committed entries into their
+    application copies.
+
+    Two service loops, chosen by configuration:
+    - {b simple}: one propose at a time ([max_outstanding = 1],
+      [max_batch = 1]) — the latency-oriented setup of Figs. 3–5;
+    - {b pipelined}: up to [max_outstanding] slots in flight, each carrying
+      up to [max_batch] coalesced requests — the throughput setup of
+      Fig. 7.
+
+    Delivery guarantee: entries commit in log order and are injected
+    exactly once per replica. A request whose leader aborts mid-propose is
+    re-submitted by the service loop, so a request may commit {e twice}
+    under leader change (at-least-once); applications needing exactly-once
+    must deduplicate by request id, as is standard for SMR systems. *)
+
+(** Application attached to each replica. *)
+type app = {
+  apply : bytes -> bytes;  (** Execute one request, return the response. *)
+  snapshot : unit -> bytes;  (** Checkpoint for state transfer (§5.4). *)
+  install : bytes -> unit;  (** Restore from a checkpoint. *)
+}
+
+val stateless_app : (bytes -> bytes) -> app
+(** An app with no checkpointable state (snapshot returns empty). *)
+
+type t
+
+val create :
+  Sim.Engine.t -> Sim.Calibration.t -> Config.t -> make_app:(int -> app) -> t
+(** Build a cluster of [config.n] replicas, each running [make_app id]. No
+    fibers are started until {!start}. *)
+
+val start : ?client_service:bool -> t -> unit
+(** Spawn all planes on every replica: heartbeat + monitors + role fiber
+    (election), permission management, replayer, recycler, and the leader
+    service loop. [client_service:false] omits the service loop — for
+    harnesses (e.g. the standalone latency benches, §7.1) that drive
+    {!Replication.propose} themselves. *)
+
+val engine : t -> Sim.Engine.t
+val config : t -> Config.t
+val replicas : t -> Replica.t array
+val replica : t -> int -> Replica.t
+
+val leader : t -> Replica.t option
+(** The replica currently acting as leader, if exactly one does. *)
+
+val serving_leader : t -> Replica.t option
+(** Like {!leader}, but ignores claimants whose host is paused or crashed
+    (a failed ex-leader keeps its stale role until it runs again). *)
+
+val submit_async : ?retry:bool -> t -> bytes -> bytes Sim.Engine.Ivar.ivar
+(** Enqueue a client request; the ivar is filled with the application
+    response once the request commits and executes at the leader.
+    [retry] (default true) enables client-side retransmission after a
+    timeout, covering requests captured by a leader that then fails;
+    throughput harnesses that generate their own load can disable it. *)
+
+val submit : t -> bytes -> bytes
+(** {!submit_async} then block (must run inside a fiber). *)
+
+val wait_live : t -> unit
+(** Block until the cluster has an established leader that has committed
+    at least one entry (fiber context). *)
+
+val stop : t -> unit
+(** Ask every replica's fibers to wind down. *)
+
+(** {1 Membership (§5.4)} *)
+
+val remove_replica : t -> id:int -> unit
+(** Propose a configuration entry removing [id]. Once it commits, [id]
+    stops executing and the others ignore it (fiber context). *)
+
+val add_replica : t -> unit -> Replica.t
+(** Add a fresh replica (next free id): propose the configuration entry,
+    wire the newcomer, transfer an application checkpoint (taken from a
+    follower, per §5.4), and start its planes (fiber context).
+
+    Known simplification: replicas started before the newcomer joined do
+    not spawn a failure-detector monitor for it. Because ids only grow,
+    the newcomer is never anyone's leader candidate while unmonitored, so
+    leader election is unaffected; it is fully monitored by any replica
+    (re)started after the join. *)
+
+(** {1 Batch framing} — exposed for tests. *)
+
+val encode_batch : bytes list -> bytes
+val decode_batch : bytes -> bytes list option
+(** [None] when the entry is a configuration entry rather than a batch. *)

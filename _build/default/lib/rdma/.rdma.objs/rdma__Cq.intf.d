@@ -1,0 +1,1 @@
+lib/rdma/cq.mli: Sim Verbs

@@ -1,0 +1,1 @@
+lib/rdma/exchange.ml: Cq Hashtbl Mr Printf Qp Sim Verbs

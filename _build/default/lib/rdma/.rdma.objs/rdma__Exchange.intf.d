@@ -1,0 +1,1 @@
+lib/rdma/exchange.mli: Cq Mr Qp Sim Verbs

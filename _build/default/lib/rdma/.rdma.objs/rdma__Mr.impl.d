@@ -1,0 +1,1 @@
+lib/rdma/mr.ml: Bytes Sim Verbs

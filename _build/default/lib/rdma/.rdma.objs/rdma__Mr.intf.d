@@ -1,0 +1,1 @@
+lib/rdma/mr.mli: Bytes Sim Verbs

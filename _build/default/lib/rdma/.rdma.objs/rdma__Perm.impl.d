@@ -1,0 +1,1 @@
+lib/rdma/perm.ml: Mr Qp Sim Verbs

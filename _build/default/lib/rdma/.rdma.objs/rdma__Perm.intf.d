@@ -1,0 +1,1 @@
+lib/rdma/perm.mli: Mr Qp Verbs

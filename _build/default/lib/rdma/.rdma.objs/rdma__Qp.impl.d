@@ -1,0 +1,1 @@
+lib/rdma/qp.ml: Bytes Cq Mr Queue Sim Verbs

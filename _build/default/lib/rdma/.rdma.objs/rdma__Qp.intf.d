@@ -1,0 +1,1 @@
+lib/rdma/qp.mli: Bytes Cq Mr Sim Verbs

@@ -1,0 +1,1 @@
+lib/rdma/quorum.ml: Cq Hashtbl List Verbs

@@ -1,0 +1,1 @@
+lib/rdma/quorum.mli: Cq Verbs

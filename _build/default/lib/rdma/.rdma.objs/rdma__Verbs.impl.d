@@ -1,0 +1,1 @@
+lib/rdma/verbs.ml: Fmt

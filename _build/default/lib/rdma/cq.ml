@@ -1,0 +1,8 @@
+type t = Verbs.wc Sim.Engine.Chan.chan
+
+let create engine = Sim.Engine.Chan.create engine
+let push t wc = Sim.Engine.Chan.send t wc
+let await t = Sim.Engine.Chan.recv t
+let await_timeout t ns = Sim.Engine.Chan.recv_timeout t ns
+let poll t = Sim.Engine.Chan.poll t
+let pending t = Sim.Engine.Chan.length t

@@ -1,0 +1,21 @@
+(** Completion queues.
+
+    Each plane of a Mu replica has one CQ shared by that plane's QPs
+    (§3.2). Fibers block on {!await} — the simulated analogue of polling
+    the CQ; the poll-detection overhead is part of the completion
+    timestamp, so blocking loses no fidelity. *)
+
+type t
+
+val create : Sim.Engine.t -> t
+val push : t -> Verbs.wc -> unit
+(** Used by the transport; not by protocol code. *)
+
+val await : t -> Verbs.wc
+(** Block until a completion is available. *)
+
+val await_timeout : t -> int -> Verbs.wc option
+(** Wait at most the given number of virtual ns. *)
+
+val poll : t -> Verbs.wc option
+val pending : t -> int

@@ -1,0 +1,41 @@
+type listener = {
+  l_host : Sim.Host.t;
+  make_cq : unit -> Cq.t;
+  l_access : Verbs.access;
+  mutable accepted : (string * Qp.t) list;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  listeners : (string * string, listener) Hashtbl.t;  (* (host, service) *)
+  regions : (string * string, Mr.t) Hashtbl.t;  (* (host, name) *)
+}
+
+let create engine = { engine; listeners = Hashtbl.create 16; regions = Hashtbl.create 16 }
+
+let listen t ~host ~service ~make_cq ?(access = Verbs.access_none) () =
+  let key = (Sim.Host.name host, service) in
+  if Hashtbl.mem t.listeners key then
+    invalid_arg
+      (Printf.sprintf "Exchange.listen: %s/%s already registered" (Sim.Host.name host)
+         service);
+  Hashtbl.replace t.listeners key
+    { l_host = host; make_cq; l_access = access; accepted = [] }
+
+let dial t ~host ~peer ~service ~cq ?(access = Verbs.access_none) () =
+  let l = Hashtbl.find t.listeners (peer, service) in
+  let local = Qp.create host ~cq in
+  let remote = Qp.create l.l_host ~cq:(l.make_cq ()) in
+  Qp.connect local remote;
+  Qp.set_access local access;
+  Qp.set_access remote l.l_access;
+  l.accepted <- (Sim.Host.name host, remote) :: l.accepted;
+  local
+
+let accepted t ~host ~service =
+  match Hashtbl.find_opt t.listeners (Sim.Host.name host, service) with
+  | Some l -> l.accepted
+  | None -> []
+
+let advertise t ~host ~name mr = Hashtbl.replace t.regions (Sim.Host.name host, name) mr
+let lookup t ~peer ~name = Hashtbl.find t.regions (peer, name)

@@ -1,0 +1,53 @@
+(** QP exchange: out-of-band connection bootstrap.
+
+    Real RDMA deployments exchange QP numbers, LIDs and rkeys over a side
+    channel (TCP, or a connection manager) before RC communication can
+    start; Mu's implementation ships such a layer (§6: "a QP exchange
+    layer, making it straightforward to create, manage, and communicate QP
+    information"). This module is the simulated equivalent: a registry
+    where a host {e listens} on a named service and peers {e dial} it,
+    yielding a connected QP pair, plus a directory for advertising memory
+    regions (the rkey exchange).
+
+    The exchange itself is control-plane: it happens once at setup, off
+    the measured paths. *)
+
+type t
+
+val create : Sim.Engine.t -> t
+
+val listen :
+  t ->
+  host:Sim.Host.t ->
+  service:string ->
+  make_cq:(unit -> Cq.t) ->
+  ?access:Verbs.access ->
+  unit ->
+  unit
+(** Register [service] on [host]: each incoming dial creates a fresh QP on
+    [host] whose completions go to a CQ from [make_cq] and whose initial
+    access flags are [access] (default: none). Raises if the (host,
+    service) pair is already taken. *)
+
+val dial :
+  t ->
+  host:Sim.Host.t ->
+  peer:string ->
+  service:string ->
+  cq:Cq.t ->
+  ?access:Verbs.access ->
+  unit ->
+  Qp.t
+(** Connect from [host] to the [service] listener on the host named
+    [peer]; returns the local endpoint of a connected RC pair. Raises
+    [Not_found] if nobody listens there. *)
+
+val accepted : t -> host:Sim.Host.t -> service:string -> (string * Qp.t) list
+(** Endpoints created by incoming dials on a listener, newest first, as
+    [(dialer host name, local QP)]. *)
+
+val advertise : t -> host:Sim.Host.t -> name:string -> Mr.t -> unit
+(** Publish a memory region under [name] — the rkey handout. *)
+
+val lookup : t -> peer:string -> name:string -> Mr.t
+(** Fetch a peer's advertised region handle. Raises [Not_found]. *)

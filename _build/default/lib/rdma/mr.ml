@@ -1,0 +1,40 @@
+type t = {
+  host : Sim.Host.t;
+  buf : Bytes.t;
+  mutable access : Verbs.access;
+  mutable valid : bool;
+  mutable write_hook : (off:int -> len:int -> unit) option;
+  persistent : bool;
+}
+
+let register ?(persistent = false) host ~size ~access =
+  if size <= 0 then invalid_arg "Mr.register: size must be positive";
+  { host; buf = Bytes.make size '\000'; access; valid = true; write_hook = None; persistent }
+
+let alias t ~access =
+  {
+    host = t.host;
+    buf = t.buf;
+    access;
+    valid = true;
+    write_hook = None;
+    persistent = t.persistent;
+  }
+let host t = t.host
+let size t = Bytes.length t.buf
+let access t = t.access
+let set_access t access = t.access <- access
+let invalidate t = t.valid <- false
+let is_valid t = t.valid
+let buffer t = t.buf
+let in_bounds t ~off ~len = off >= 0 && len >= 0 && off + len <= Bytes.length t.buf
+let set_write_hook t hook = t.write_hook <- hook
+let is_persistent t = t.persistent
+
+let notify_write t ~off ~len =
+  match t.write_hook with None -> () | Some hook -> hook ~off ~len
+
+let get_i64 t ~off = Bytes.get_int64_le t.buf off
+let set_i64 t ~off v = Bytes.set_int64_le t.buf off v
+let get_bytes t ~off ~len = Bytes.sub t.buf off len
+let set_bytes t ~off b = Bytes.blit b 0 t.buf off (Bytes.length b)

@@ -1,0 +1,55 @@
+(** Registered memory regions.
+
+    An MR owns a byte buffer pinned on its host and carries remote access
+    flags. Overlapping registrations (the paper's first permission
+    mechanism, §5.2) are modelled by {!alias}: a second MR over the same
+    buffer with independent flags. An operation is allowed only if both the
+    QP it arrives on and the target MR permit it. *)
+
+type t
+
+val register : ?persistent:bool -> Sim.Host.t -> size:int -> access:Verbs.access -> t
+(** Register a fresh zero-filled region. Instantaneous (initial
+    registration cost is off the critical path); re-registration cost is
+    modelled by {!Perm.rereg_mr}. [persistent] marks the region as remote
+    persistent memory: incoming Writes pay the flush cost before acking
+    (the paper's anticipated persistence extension, §1). *)
+
+val alias : t -> access:Verbs.access -> t
+(** Register the same memory again with different flags (overlapping MR). *)
+
+val host : t -> Sim.Host.t
+val size : t -> int
+val access : t -> Verbs.access
+val set_access : t -> Verbs.access -> unit
+(** Instantaneous flag update — timing belongs to {!Perm}. *)
+
+val invalidate : t -> unit
+(** Deregister: subsequent remote operations fail. *)
+
+val is_valid : t -> bool
+
+val buffer : t -> Bytes.t
+(** The underlying memory, for local access by the owning process. *)
+
+val in_bounds : t -> off:int -> len:int -> bool
+
+val set_write_hook : t -> (off:int -> len:int -> unit) option -> unit
+(** Install a callback fired whenever a remote Write lands in this region
+    (at its arrival instant). This models a process noticing the write on
+    its next memory poll without simulating every poll iteration; the
+    subscriber adds its own poll-phase delay. Used by the two-sided
+    baselines (APUS, Hermes) and by tests. *)
+
+val notify_write : t -> off:int -> len:int -> unit
+(** Used by the transport; not by protocol code. *)
+
+val is_persistent : t -> bool
+
+(** {1 Local typed access helpers} — used by replicas to read/write their
+    own region; remote access goes through {!Qp}. *)
+
+val get_i64 : t -> off:int -> int64
+val set_i64 : t -> off:int -> int64 -> unit
+val get_bytes : t -> off:int -> len:int -> Bytes.t
+val set_bytes : t -> off:int -> Bytes.t -> unit

@@ -1,0 +1,33 @@
+(** Permission-switching mechanisms and their cost model (§5.2, Fig. 2).
+
+    RDMA offers three ways to grant/revoke a remote replica's write access;
+    the paper measures all three (Fig. 2) and builds Mu's fast-slow path
+    out of two of them:
+
+    - {b QP access flags} ({!change_qp_flags}): ~120 µs, independent of MR
+      size — but flipping flags with operations in flight "sometimes causes
+      the QP to go into an error state".
+    - {b QP state cycling} ({!restart_qp}): reset → init → RTR → RTS,
+      ~10× slower than the flags method, always safe.
+    - {b MR re-registration} ({!rereg_mr}): cost grows with the region
+      size, reaching ~100 ms for a 4 GiB log.
+
+    All functions must be called from a fiber of the QP/MR owner's host and
+    consume the mechanism's latency there (the permission management thread
+    blocks on the NIC/driver, §5.2). *)
+
+val change_qp_flags : Qp.t -> Verbs.access -> (unit, [ `Qp_error ]) result
+(** Fast path. Fails (QP moves to ERR) with probability 1/2 when the
+    remote peer has operations in flight at switch time. *)
+
+val restart_qp : Qp.t -> Verbs.access -> unit
+(** Slow path: cycle the QP through reset/init/RTR/RTS and install the
+    access flags. While cycling, arriving operations are denied. Always
+    succeeds. *)
+
+val rereg_mr : Mr.t -> Verbs.access -> unit
+(** Re-register an MR with new flags; cost scales with its size. *)
+
+val fast_slow_switch : Qp.t -> Verbs.access -> unit
+(** Mu's production path (§5.2): try {!change_qp_flags}; on error fall
+    back to {!restart_qp}. *)

@@ -1,0 +1,289 @@
+type link = { mutable up : bool }
+
+(* A posted receive buffer awaiting a Send from the peer. *)
+type recv = { rwr_id : int; rdst : Bytes.t; rdst_off : int; rmax_len : int }
+
+(* A Send that arrived before any receive was posted: under RC the
+   requester NIC retries (RNR-NAK) until the responder posts a buffer. *)
+type pending_send = { payload : Bytes.t; complete : arrived_at:int -> len:int -> unit }
+
+type t = {
+  host : Sim.Host.t;
+  cq : Cq.t;
+  mutable peer : t option;
+  mutable state : Verbs.qp_state;
+  mutable acc : Verbs.access;
+  mutable outstanding : int;
+  mutable last_arrival : int;  (* monotonic arrival clock at the responder *)
+  mutable last_completion : int;  (* monotonic completion clock at the requester *)
+  mutable link : link;
+  recvq : recv Queue.t;
+  pending_sends : pending_send Queue.t;
+}
+
+let create host ~cq =
+  {
+    host;
+    cq;
+    peer = None;
+    state = Verbs.Reset;
+    acc = Verbs.access_none;
+    outstanding = 0;
+    last_arrival = 0;
+    last_completion = 0;
+    link = { up = true };
+    recvq = Queue.create ();
+    pending_sends = Queue.create ();
+  }
+
+let connect a b =
+  if a.peer <> None || b.peer <> None then invalid_arg "Qp.connect: already connected";
+  a.peer <- Some b;
+  b.peer <- Some a;
+  let link = { up = true } in
+  a.link <- link;
+  b.link <- link;
+  a.state <- Verbs.Rts;
+  b.state <- Verbs.Rts
+
+let host t = t.host
+let peer t = t.peer
+let state t = t.state
+let access t = t.acc
+let set_access t acc = t.acc <- acc
+let set_state t s = t.state <- s
+let repair t = if t.state = Verbs.Err then t.state <- Verbs.Rts
+let outstanding t = t.outstanding
+let link_up t = t.link.up
+let set_link_up t up = t.link.up <- up
+
+let engine t = Sim.Host.engine t.host
+let cal t = Sim.Host.calibration t.host
+
+(* Monotonic clocks preserve RC's in-order guarantees even though wire
+   jitter is sampled independently per operation. *)
+let arrival_time t ideal =
+  let at = max ideal (t.last_arrival + 1) in
+  t.last_arrival <- at;
+  at
+
+let completion_time t ideal =
+  let at = max ideal (t.last_completion + 1) in
+  t.last_completion <- at;
+  at
+
+let deliver_completion t ~at ~wr_id ~kind ~status ?(byte_len = 0) ~before () =
+  let at = completion_time t at in
+  Sim.Engine.schedule (engine t) ~at (fun () ->
+      t.outstanding <- t.outstanding - 1;
+      before ();
+      Cq.push t.cq { Verbs.wr_id; kind; status; byte_len })
+
+let wire_delay t ~len =
+  let c = cal t in
+  Sim.Distribution.sample_ns c.Sim.Calibration.wire (Sim.Host.rng t.host)
+  + int_of_float (float_of_int len *. c.Sim.Calibration.wire_byte)
+
+(* Requester-side cost between posting and the packet leaving the NIC:
+   NIC processing plus, past the inline threshold, a DMA fetch of the
+   payload (§6). *)
+let tx_delay t ~payload =
+  let c = cal t in
+  let fetch =
+    if payload <= c.Sim.Calibration.inline_threshold then 0
+    else
+      c.Sim.Calibration.dma_fetch
+      + int_of_float (float_of_int payload *. c.Sim.Calibration.dma_byte)
+  in
+  c.Sim.Calibration.nic_tx + fetch
+
+let responder_allows resp ~(mr : Mr.t) ~off ~len ~need_write =
+  (match resp.state with Verbs.Rtr | Verbs.Rts -> true | Verbs.Reset | Verbs.Init | Verbs.Err -> false)
+  && (if need_write then resp.acc.Verbs.remote_write else resp.acc.Verbs.remote_read)
+  && (if need_write then (Mr.access mr).Verbs.remote_write else (Mr.access mr).Verbs.remote_read)
+  && Mr.is_valid mr
+  && Mr.in_bounds mr ~off ~len
+
+(* Shared post path for Read and Write. [payload_out] is the number of
+   bytes serialised on the request; [payload_back] on the response.
+   [apply] runs at the responder at arrival time when allowed (memory
+   effect / data capture); [on_complete] runs at the requester just before
+   the success completion is delivered. *)
+let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~apply ~on_complete
+    =
+  let e = engine t in
+  let c = cal t in
+  Sim.Host.cpu t.host c.Sim.Calibration.wr_post;
+  t.outstanding <- t.outstanding + 1;
+  match t.state, t.peer with
+  | Verbs.Rts, Some resp when Mr.host mr == resp.host ->
+    let t0 = Sim.Engine.now e in
+    let arrive = arrival_time t (t0 + tx_delay t ~payload:payload_out + wire_delay t ~len:payload_out) in
+    Sim.Engine.schedule e ~at:arrive (fun () ->
+        if (not t.link.up) || not (Sim.Host.nic_reachable resp.host) then begin
+          (* RC retransmits silently until the transport timeout fires. *)
+          t.state <- Verbs.Err;
+          deliver_completion t
+            ~at:(t0 + c.Sim.Calibration.rnic_timeout)
+            ~wr_id ~kind ~status:Verbs.Operation_timeout
+            ~before:(fun () -> ())
+            ()
+        end
+        else if not (responder_allows resp ~mr ~off ~len ~need_write) then begin
+          (* NAK: both ends of the connection go to ERR (§5.2). *)
+          resp.state <- Verbs.Err;
+          let back = Sim.Engine.now e + c.Sim.Calibration.nic_rx + wire_delay t ~len:0 in
+          deliver_completion t ~at:back ~wr_id ~kind ~status:Verbs.Remote_access_error
+            ~before:(fun () -> t.state <- Verbs.Err)
+            ()
+        end
+        else begin
+          apply ();
+          (* Writes into persistent memory are acknowledged only once
+             flushed (SNIA RDMA persistence extension, paper §1). *)
+          let flush =
+            if need_write && Mr.is_persistent mr then c.Sim.Calibration.pmem_flush else 0
+          in
+          let back =
+            Sim.Engine.now e + c.Sim.Calibration.nic_rx + flush
+            + wire_delay t ~len:payload_back
+            + c.Sim.Calibration.cq_poll
+          in
+          deliver_completion t ~at:back ~wr_id ~kind ~status:Verbs.Success ~byte_len:len
+            ~before:on_complete ()
+        end)
+  | Verbs.Rts, Some _ -> invalid_arg "Qp.post: MR does not belong to the peer host"
+  | Verbs.Rts, None -> invalid_arg "Qp.post: not connected"
+  | (Verbs.Reset | Verbs.Init | Verbs.Rtr | Verbs.Err), _ ->
+    (* Work posted to a non-RTS QP is flushed. *)
+    deliver_completion t
+      ~at:(Sim.Engine.now e + c.Sim.Calibration.cq_poll)
+      ~wr_id ~kind ~status:Verbs.Flushed
+      ~before:(fun () -> ())
+      ()
+
+let post_write t ~wr_id ~src ~src_off ~len ~mr ~dst_off =
+  if src_off < 0 || len < 0 || src_off + len > Bytes.length src then
+    invalid_arg "Qp.post_write: bad source range";
+  (* Inline semantics: the payload is captured at post time regardless of
+     later changes to [src]. *)
+  let payload = Bytes.sub src src_off len in
+  post t ~wr_id ~kind:`Write ~payload_out:len ~payload_back:0 ~mr ~off:dst_off ~len
+    ~need_write:true
+    ~apply:(fun () ->
+      Bytes.blit payload 0 (Mr.buffer mr) dst_off len;
+      Mr.notify_write mr ~off:dst_off ~len)
+    ~on_complete:(fun () -> ())
+
+let post_read t ~wr_id ~dst ~dst_off ~len ~mr ~src_off =
+  if dst_off < 0 || len < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Qp.post_read: bad destination range";
+  let snapshot = ref Bytes.empty in
+  post t ~wr_id ~kind:`Read ~payload_out:0 ~payload_back:len ~mr ~off:src_off ~len
+    ~need_write:false
+    ~apply:(fun () -> snapshot := Bytes.sub (Mr.buffer mr) src_off len)
+    ~on_complete:(fun () -> Bytes.blit !snapshot 0 dst dst_off len)
+
+(* --- two-sided Send/Receive -------------------------------------------- *)
+
+(* Consume a posted receive for [payload] at the responder: copy the data,
+   deliver the receive completion, and report the match back so the sender
+   completion can be scheduled. *)
+let consume_recv (resp : t) ~payload ~at ~notify =
+  let c = cal resp in
+  let r = Queue.pop resp.recvq in
+  let len = Bytes.length payload in
+  if len > r.rmax_len then begin
+    (* Local length error at the responder; the connection breaks. *)
+    resp.state <- Verbs.Err;
+    let at = completion_time resp (at + c.Sim.Calibration.nic_rx) in
+    Sim.Engine.schedule (engine resp) ~at (fun () ->
+        Cq.push resp.cq
+          { Verbs.wr_id = r.rwr_id; kind = `Recv; status = Verbs.Remote_access_error;
+            byte_len = 0 });
+    notify ~arrived_at:at ~len:(-1)
+  end
+  else begin
+    Bytes.blit payload 0 r.rdst r.rdst_off len;
+    let at = completion_time resp (at + c.Sim.Calibration.nic_rx) in
+    Sim.Engine.schedule (engine resp) ~at (fun () ->
+        Cq.push resp.cq
+          { Verbs.wr_id = r.rwr_id; kind = `Recv; status = Verbs.Success; byte_len = len });
+    notify ~arrived_at:at ~len
+  end
+
+let post_recv t ~wr_id ~dst ~dst_off ~max_len =
+  if dst_off < 0 || max_len < 0 || dst_off + max_len > Bytes.length dst then
+    invalid_arg "Qp.post_recv: bad buffer range";
+  Queue.push { rwr_id = wr_id; rdst = dst; rdst_off = dst_off; rmax_len = max_len } t.recvq;
+  (* Match a sender that was RNR-retrying. *)
+  if not (Queue.is_empty t.pending_sends) then begin
+    let p = Queue.pop t.pending_sends in
+    consume_recv t ~payload:p.payload ~at:(Sim.Engine.now (engine t))
+      ~notify:(fun ~arrived_at ~len -> p.complete ~arrived_at ~len)
+  end
+
+let post_send t ~wr_id ~src ~src_off ~len =
+  if src_off < 0 || len < 0 || src_off + len > Bytes.length src then
+    invalid_arg "Qp.post_send: bad source range";
+  let e = engine t in
+  let c = cal t in
+  Sim.Host.cpu t.host c.Sim.Calibration.wr_post;
+  t.outstanding <- t.outstanding + 1;
+  match t.state, t.peer with
+  | Verbs.Rts, Some resp ->
+    let payload = Bytes.sub src src_off len in
+    let t0 = Sim.Engine.now e in
+    let arrive = arrival_time t (t0 + tx_delay t ~payload:len + wire_delay t ~len) in
+    Sim.Engine.schedule e ~at:arrive (fun () ->
+        if (not t.link.up) || not (Sim.Host.nic_reachable resp.host) then begin
+          t.state <- Verbs.Err;
+          deliver_completion t
+            ~at:(t0 + c.Sim.Calibration.rnic_timeout)
+            ~wr_id ~kind:`Send ~status:Verbs.Operation_timeout
+            ~before:(fun () -> ())
+            ()
+        end
+        else if
+          match resp.state with
+          | Verbs.Rtr | Verbs.Rts -> false
+          | Verbs.Reset | Verbs.Init | Verbs.Err -> true
+        then begin
+          resp.state <- Verbs.Err;
+          let back = Sim.Engine.now e + c.Sim.Calibration.nic_rx + wire_delay t ~len:0 in
+          deliver_completion t ~at:back ~wr_id ~kind:`Send
+            ~status:Verbs.Remote_access_error
+            ~before:(fun () -> t.state <- Verbs.Err)
+            ()
+        end
+        else begin
+          let notify ~arrived_at ~len:got =
+            if got < 0 then
+              deliver_completion t
+                ~at:(arrived_at + wire_delay t ~len:0)
+                ~wr_id ~kind:`Send ~status:Verbs.Remote_access_error
+                ~before:(fun () -> t.state <- Verbs.Err)
+                ()
+            else
+              deliver_completion t
+                ~at:(arrived_at + wire_delay t ~len:0 + c.Sim.Calibration.cq_poll)
+                ~wr_id ~kind:`Send ~status:Verbs.Success ~byte_len:got
+                ~before:(fun () -> ())
+                ()
+          in
+          if Queue.is_empty resp.recvq then
+            (* RNR: the requester NIC retries until a buffer is posted. *)
+            Queue.push
+              { payload; complete = (fun ~arrived_at ~len -> notify ~arrived_at ~len) }
+              resp.pending_sends
+          else consume_recv resp ~payload ~at:(Sim.Engine.now e) ~notify
+        end)
+  | Verbs.Rts, None -> invalid_arg "Qp.post_send: not connected"
+  | (Verbs.Reset | Verbs.Init | Verbs.Rtr | Verbs.Err), _ ->
+    deliver_completion t
+      ~at:(Sim.Engine.now e + c.Sim.Calibration.cq_poll)
+      ~wr_id ~kind:`Send ~status:Verbs.Flushed
+      ~before:(fun () -> ())
+      ()
+
+let posted_recvs t = Queue.length t.recvq

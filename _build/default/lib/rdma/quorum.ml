@@ -1,0 +1,50 @@
+type outcome = { succeeded : int list; pending : int }
+
+exception Operation_failed of { index : int; status : Verbs.wc_status }
+
+type t = {
+  cq : Cq.t;
+  inflight : (int, int * int) Hashtbl.t;  (* wr_id -> (round, index) *)
+  mutable next_wr : int;
+  mutable round : int;
+}
+
+let create cq = { cq; inflight = Hashtbl.create 32; next_wr = 0; round = 0 }
+
+let take t =
+  let wc = Cq.await t.cq in
+  match Hashtbl.find_opt t.inflight wc.Verbs.wr_id with
+  | None -> None (* foreign completion on a shared CQ round; ignore *)
+  | Some (round, index) ->
+    Hashtbl.remove t.inflight wc.Verbs.wr_id;
+    (match wc.Verbs.status with
+    | Verbs.Success -> ()
+    | status -> raise (Operation_failed { index; status }));
+    Some (round, index)
+
+let post_and_wait t ~needed ~post =
+  t.round <- t.round + 1;
+  let round = t.round in
+  if needed > List.length post then
+    invalid_arg "Quorum.post_and_wait: needed exceeds posted operations";
+  List.iteri
+    (fun index f ->
+      t.next_wr <- t.next_wr + 1;
+      Hashtbl.replace t.inflight t.next_wr (round, index);
+      f ~wr_id:t.next_wr)
+    post;
+  let succeeded = ref [] in
+  while List.length !succeeded < needed do
+    match take t with
+    | Some (r, index) when r = round -> succeeded := index :: !succeeded
+    | Some _ | None -> ()
+  done;
+  let pending =
+    Hashtbl.fold (fun _ (r, _) acc -> if r = round then acc + 1 else acc) t.inflight 0
+  in
+  { succeeded = List.rev !succeeded; pending }
+
+let drain t =
+  while Hashtbl.length t.inflight > 0 do
+    ignore (take t)
+  done

@@ -1,0 +1,35 @@
+(** Writing to all and waiting for a majority.
+
+    One of the "common practical problems in RDMA-based distributed
+    computing" Mu packages as an independently reusable module (§6): post
+    the same operation to a set of QPs and block until [needed] of them
+    completed successfully, while accounting for every other completion
+    that arrives on the shared CQ in the meantime.
+
+    The caller owns the CQ and must be its only consumer. Completions from
+    earlier rounds are recognised by their work-request ids and ignored if
+    successful; any error completion surfaces immediately (in Mu's usage
+    an error means lost permission — grounds to abort, §4.1). *)
+
+type outcome = {
+  succeeded : int list;  (** Indices (into the posted list) that completed. *)
+  pending : int;  (** Operations still in flight when the wait returned. *)
+}
+
+exception Operation_failed of { index : int; status : Verbs.wc_status }
+
+type t
+(** Tracker for one CQ shared by successive quorum rounds. *)
+
+val create : Cq.t -> t
+
+val post_and_wait : t -> needed:int -> post:(wr_id:int -> unit) list -> outcome
+(** [post_and_wait t ~needed ~post] invokes each closure in [post] with a
+    fresh work-request id, then consumes completions until
+    [needed] of {e this round's} operations succeeded. Raises
+    {!Operation_failed} on any error completion (this or a prior round).
+    Must run in a fiber. *)
+
+val drain : t -> unit
+(** Consume completions of all still-pending operations from earlier
+    rounds (blocking). Raises {!Operation_failed} on errors. *)

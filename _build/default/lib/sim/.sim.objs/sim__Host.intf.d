@@ -1,0 +1,1 @@
+lib/sim/host.mli: Calibration Engine Rng

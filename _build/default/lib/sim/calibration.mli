@@ -1,0 +1,81 @@
+(** Timing calibration — the simulator's stand-in for Table 1.
+
+    The paper's testbed is a 4-node cluster of 2x Xeon E5-2640 v4 hosts with
+    Mellanox ConnectX-4 NICs on 100 Gb/s InfiniBand (Table 1). Each constant
+    below is pinned by a specific measurement in the paper; the doc comment
+    says which. All times are nanoseconds unless noted.
+
+    These constants feed the {!Rdma} NIC/fabric model and the application
+    transport models; the protocols themselves contain no magic timing. *)
+
+type t = {
+  (* --- RDMA data path (pins Fig. 3/4: Mu 64 B replication ~1.3 us median,
+     99p ~1.6 us, flat below the inline threshold) --- *)
+  wr_post : int;  (** CPU cost to post one work request (~80 ns). *)
+  nic_tx : int;  (** Requester NIC processing per WR. *)
+  nic_rx : int;  (** Responder NIC processing per packet (DMA setup). *)
+  wire : Distribution.t;  (** One-way wire latency incl. switch. *)
+  wire_byte : float;  (** Serialisation per payload byte (100 Gb/s). *)
+  inline_threshold : int;  (** Max inlined payload (256 B on ConnectX-4, §6). *)
+  dma_fetch : int;  (** Extra DMA to fetch non-inlined payload (§7.1). *)
+  dma_byte : float;  (** Per-byte cost of that DMA fetch. *)
+  cq_poll : int;  (** Completion-poll detection overhead. *)
+  rnic_timeout : int;  (** RC transport timeout for a dead host (§5.1 "longer
+                          RDMA timeout"). *)
+  pmem_flush : int;  (** Extra responder-side latency to flush an RDMA Write
+                         to remote persistent memory before acking — the
+                         paper's anticipated persistence extension (§1,
+                         SNIA "Extending RDMA for Persistent Memory over
+                         Fabrics"). Applies to writes into MRs registered
+                         as persistent. *)
+
+  (* --- Permission switching (pins Fig. 2 and the 244 us switch share of
+     Fig. 6) --- *)
+  perm_qp_flags : Distribution.t;  (** Change QP access flags (~120 us). *)
+  perm_qp_restart : Distribution.t;  (** Cycle QP reset/init/RTR/RTS (~10x
+                                         slower than flags, Fig. 2). *)
+  perm_mr_rereg_base : float;  (** MR re-registration, size-independent part. *)
+  perm_mr_rereg_per_mib : float;  (** MR re-registration slope (ns per MiB);
+                                      reaches ~100 ms at 4 GiB (Fig. 2). *)
+
+  (* --- Failure detection (pins Fig. 6: detection ~600 us) --- *)
+  hb_increment_interval : int;  (** Leader heartbeat increment period. *)
+  fd_read_interval : int;  (** Follower counter-read period (~40 us; 14
+                               score decrements to fail ≈ 600 us). *)
+  score_min : int;
+  score_max : int;  (** Score cap, 15 (§5.1). *)
+  score_fail : int;  (** Failure threshold, 2 (§5.1). *)
+  score_recover : int;  (** Recovery threshold, 6 (§5.1). *)
+
+  (* --- Host CPU model (pins Fig. 6 detection variance: "rare cases, the
+     leader process is descheduled by the OS for tens of microseconds") --- *)
+  cpu_jitter_period : int;  (** Mean CPU ns between descheduling events. *)
+  cpu_jitter : Distribution.t;  (** Descheduling duration. *)
+  memcpy_request : int;  (** Fixed cost to stage one request into the RDMA
+                             buffer — the Fig. 7 throughput wall. *)
+  memcpy_byte : float;  (** Per-byte staging cost. *)
+
+  (* --- Attach modes (pins Fig. 3: handover ≈ +400 ns over standalone) --- *)
+  handover_hop : int;  (** Cache-coherence miss handing a request between
+                           application and replication threads. *)
+  direct_interference : int;  (** Extra latency when app and replication
+                                  share a thread (direct mode). *)
+
+  (* --- Client transports for the applications (pins Fig. 5) --- *)
+  tcp_rtt_memcached : Distribution.t;  (** TCP client RTT, Memcached. *)
+  tcp_rtt_redis : Distribution.t;  (** TCP client RTT, Redis. *)
+  erpc_rtt : Distribution.t;  (** eRPC RTT for Liquibook (§7.2: large
+                                  variance even unreplicated). *)
+  herd_rtt : Distribution.t;  (** HERD RDMA client RTT. *)
+
+  (* --- Application compute --- *)
+  order_match : int;  (** Order-book matching per order. *)
+  kv_op : int;  (** KV get/put compute. *)
+}
+
+val default : t
+(** Values calibrated to the paper's evaluation, per the table in
+    DESIGN.md §7. *)
+
+val mr_rereg_time : t -> bytes:int -> Distribution.t
+(** Fig. 2 model: MR re-registration cost for a region of [bytes]. *)

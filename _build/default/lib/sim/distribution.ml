@@ -1,0 +1,66 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mean : float; std : float }
+  | Lognormal of { median : float; sigma : float }
+  | Exponential of { mean : float }
+  | Pareto of { scale : float; shape : float }
+  | Shifted of { base : float; jitter : t }
+  | Mixture of (float * t) list
+
+let rec sample t rng =
+  let v =
+    match t with
+    | Constant c -> c
+    | Uniform { lo; hi } -> lo +. ((hi -. lo) *. Rng.float rng)
+    | Normal { mean; std } -> mean +. (std *. Rng.gaussian rng)
+    | Lognormal { median; sigma } -> Rng.lognormal rng ~mu:(log median) ~sigma
+    | Exponential { mean } -> Rng.exponential rng ~mean
+    | Pareto { scale; shape } -> Rng.pareto rng ~scale ~shape
+    | Shifted { base; jitter } -> base +. sample jitter rng
+    | Mixture comps -> sample_mixture comps rng
+  in
+  Float.max 0.0 v
+
+and sample_mixture comps rng =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 comps in
+  if total <= 0.0 then invalid_arg "Distribution.Mixture: non-positive weights";
+  let u = Rng.float rng *. total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Distribution.Mixture: empty"
+    | [ (_, d) ] -> sample d rng
+    | (w, d) :: rest ->
+      let acc = acc +. w in
+      if u < acc then sample d rng else pick acc rest
+  in
+  pick 0.0 comps
+
+let sample_ns t rng =
+  let v = sample t rng in
+  if v <= 0.0 then 0 else int_of_float (Float.round v)
+
+let rec mean = function
+  | Constant c -> c
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Normal { mean = m; _ } -> m
+  | Lognormal { median; sigma } -> median *. exp (sigma *. sigma /. 2.0)
+  | Exponential { mean = m } -> m
+  | Pareto { scale; shape } ->
+    if shape <= 1.0 then infinity else scale *. shape /. (shape -. 1.0)
+  | Shifted { base; jitter } -> base +. mean jitter
+  | Mixture comps ->
+    let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 comps in
+    List.fold_left (fun acc (w, d) -> acc +. (w /. total *. mean d)) 0.0 comps
+
+let rec pp ppf = function
+  | Constant c -> Fmt.pf ppf "const(%gns)" c
+  | Uniform { lo; hi } -> Fmt.pf ppf "uniform(%g,%g)" lo hi
+  | Normal { mean; std } -> Fmt.pf ppf "normal(%g,%g)" mean std
+  | Lognormal { median; sigma } -> Fmt.pf ppf "lognormal(med=%g,s=%g)" median sigma
+  | Exponential { mean } -> Fmt.pf ppf "exp(%g)" mean
+  | Pareto { scale; shape } -> Fmt.pf ppf "pareto(%g,%g)" scale shape
+  | Shifted { base; jitter } -> Fmt.pf ppf "%g+%a" base pp jitter
+  | Mixture comps ->
+    Fmt.pf ppf "mix(%a)"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (w, d) -> Fmt.pf ppf "%g:%a" w pp d))
+      comps

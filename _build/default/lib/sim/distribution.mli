@@ -1,0 +1,36 @@
+(** Latency distributions.
+
+    Latencies in the simulator are described declaratively so that
+    calibration constants ({!Calibration}) read like a datasheet. All values
+    are in nanoseconds (as floats while composing; sampled to integer ns). *)
+
+type t =
+  | Constant of float  (** Always the same value. *)
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mean : float; std : float }
+      (** Gaussian, truncated below at 0. *)
+  | Lognormal of { median : float; sigma : float }
+      (** Lognormal parameterised by its median (ns) and shape [sigma];
+          heavier right tail as [sigma] grows. *)
+  | Exponential of { mean : float }
+  | Pareto of { scale : float; shape : float }
+      (** Heavy tail with minimum [scale]. *)
+  | Shifted of { base : float; jitter : t }
+      (** Deterministic floor plus stochastic jitter — the common shape for
+          a network hop: propagation + queueing. *)
+  | Mixture of (float * t) list
+      (** Weighted mixture; weights need not sum to 1 (normalised). Used
+          for rare-event tails such as OS descheduling. *)
+
+val sample : t -> Rng.t -> float
+(** Draw one value (ns, >= 0). *)
+
+val sample_ns : t -> Rng.t -> int
+(** [sample] rounded to integer nanoseconds, clamped to >= 0. *)
+
+val mean : t -> float
+(** Analytic mean where it exists; used by tests to sanity-check sampling.
+    For [Pareto] with [shape <= 1] the mean diverges and this returns
+    [infinity]. *)
+
+val pp : t Fmt.t

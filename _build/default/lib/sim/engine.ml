@@ -1,0 +1,168 @@
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  events : (unit -> unit) Heap.t;
+  root_rng : Rng.t;
+  mutable halted : bool;
+  mutable running : bool;
+}
+
+exception Fiber_crash of string * exn
+
+let () =
+  Printexc.register_printer (function
+    | Fiber_crash (name, exn) ->
+      Some (Printf.sprintf "Fiber_crash(%s: %s)" name (Printexc.to_string exn))
+    | _ -> None)
+
+let create ?(seed = 1L) () =
+  {
+    now = 0;
+    seq = 0;
+    events = Heap.create ();
+    root_rng = Rng.create seed;
+    halted = false;
+    running = false;
+  }
+
+let now t = t.now
+let rng t = t.root_rng
+let pending_events t = Heap.length t.events
+
+let schedule t ~at thunk =
+  let at = if at < t.now then t.now else at in
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~key:at ~seq:t.seq thunk
+
+let schedule_after t delay thunk = schedule t ~at:(t.now + delay) thunk
+let halt t = t.halted <- true
+
+(* Fibers -------------------------------------------------------------- *)
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let suspend register = Effect.perform (Suspend register)
+
+let spawn t ?(name = "fiber") f =
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun exn -> raise (Fiber_crash (name, exn)));
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (b, _) Effect.Deep.continuation) ->
+                let resumed = ref false in
+                let resume v =
+                  if !resumed then invalid_arg "Engine: fiber resumed twice";
+                  resumed := true;
+                  schedule t ~at:t.now (fun () -> Effect.Deep.continue k v)
+                in
+                register resume)
+          | _ -> None);
+    }
+  in
+  schedule t ~at:t.now (fun () -> Effect.Deep.match_with f () handler)
+
+let sleep t delay = suspend (fun resume -> schedule_after t delay (fun () -> resume ()))
+let yield t = sleep t 0
+
+let run ?until t =
+  if t.running then invalid_arg "Engine.run: already running";
+  t.running <- true;
+  t.halted <- false;
+  let limit = match until with None -> max_int | Some u -> u in
+  let rec loop () =
+    if t.halted then ()
+    else
+      match Heap.peek_key t.events with
+      | None -> ()
+      | Some (at, _) when at > limit -> t.now <- limit
+      | Some (at, _) -> (
+        match Heap.pop t.events with
+        | None -> ()
+        | Some thunk ->
+          t.now <- at;
+          thunk ();
+          loop ())
+  in
+  Fun.protect ~finally:(fun () -> t.running <- false) loop
+
+(* Ivar ----------------------------------------------------------------- *)
+
+module Ivar = struct
+  type 'a state = Empty of ('a -> unit) list | Full of 'a
+  type 'a ivar = { mutable state : 'a state }
+
+  let create (_ : t) = { state = Empty [] }
+
+  let try_fill iv v =
+    match iv.state with
+    | Full _ -> false
+    | Empty waiters ->
+      iv.state <- Full v;
+      List.iter (fun w -> w v) (List.rev waiters);
+      true
+
+  let fill iv v = if not (try_fill iv v) then invalid_arg "Ivar.fill: already filled"
+
+  let read iv =
+    match iv.state with
+    | Full v -> v
+    | Empty _ ->
+      suspend (fun resume ->
+          match iv.state with
+          | Full v -> resume v
+          | Empty waiters -> iv.state <- Empty (resume :: waiters))
+
+  let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
+  let is_filled iv = match iv.state with Full _ -> true | Empty _ -> false
+end
+
+(* Chan ----------------------------------------------------------------- *)
+
+module Chan = struct
+  (* A waiter is "done" once either a value was delivered to it or its
+     timeout fired; both paths race and the flag makes them one-shot. *)
+  type 'a waiter = { mutable finished : bool; deliver : 'a -> unit }
+  type 'a chan = { engine : t; items : 'a Queue.t; waiters : 'a waiter Queue.t }
+
+  let create engine = { engine; items = Queue.create (); waiters = Queue.create () }
+
+  let rec wake_one c v =
+    match Queue.take_opt c.waiters with
+    | None -> Queue.push v c.items
+    | Some w ->
+      if w.finished then wake_one c v
+      else begin
+        w.finished <- true;
+        w.deliver v
+      end
+
+  let send c v = wake_one c v
+
+  let recv c =
+    match Queue.take_opt c.items with
+    | Some v -> v
+    | None ->
+      suspend (fun resume ->
+          Queue.push { finished = false; deliver = resume } c.waiters)
+
+  let recv_timeout c timeout =
+    match Queue.take_opt c.items with
+    | Some v -> Some v
+    | None ->
+      suspend (fun resume ->
+          let w = { finished = false; deliver = (fun v -> resume (Some v)) } in
+          Queue.push w c.waiters;
+          schedule_after c.engine timeout (fun () ->
+              if not w.finished then begin
+                w.finished <- true;
+                resume None
+              end))
+
+  let poll c = Queue.take_opt c.items
+  let length c = Queue.length c.items
+end

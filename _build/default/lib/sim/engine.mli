@@ -1,0 +1,98 @@
+(** Deterministic discrete-event simulation engine with cooperative fibers.
+
+    The engine owns a virtual clock (integer nanoseconds) and a priority
+    queue of pending events. Protocol code runs inside {e fibers}: OCaml 5
+    effect-based coroutines that suspend on {!sleep}, channel receives,
+    ivar reads, and RDMA completions. A fiber segment runs to completion
+    before any other event fires, so each segment is atomic with respect to
+    simulated concurrency — exactly the semantics of a pinned thread that
+    only observes the outside world through explicit waits.
+
+    Determinism: two runs with equal seeds execute identical event orders.
+    Events scheduled for the same instant fire in scheduling order. *)
+
+type t
+
+exception Fiber_crash of string * exn
+(** Raised out of {!run} when a fiber raises; carries the fiber name. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time 0. [seed] (default 1) seeds the root PRNG. *)
+
+val now : t -> int
+(** Current virtual time in nanoseconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root PRNG. Components should derive their own streams via
+    {!Rng.split}. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** Schedule a thunk at an absolute time (>= [now]). *)
+
+val schedule_after : t -> int -> (unit -> unit) -> unit
+(** Schedule a thunk at [now + delay]. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Start a fiber at the current time. The body may use the suspension
+    operations below. *)
+
+val run : ?until:int -> t -> unit
+(** Execute events until the queue is empty, [until] is reached, or
+    {!halt}. Re-entrant calls are not allowed. *)
+
+val halt : t -> unit
+(** Stop {!run} after the current event. *)
+
+val pending_events : t -> int
+
+(** {1 Fiber operations} — valid only inside a fiber body. *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] captures the current continuation, passes a one-shot
+    [resume] function to [register], and suspends. Calling [resume v]
+    schedules the fiber to continue with [v] at the engine's current time.
+    The building block for all other waiting primitives. *)
+
+val sleep : t -> int -> unit
+(** Suspend for the given number of virtual nanoseconds. *)
+
+val yield : t -> unit
+(** Suspend and resume at the same instant, after already-queued events. *)
+
+(** Write-once cell; readers block until filled. *)
+module Ivar : sig
+  type 'a ivar
+
+  val create : t -> 'a ivar
+  val fill : 'a ivar -> 'a -> unit
+  (** Fill the cell, waking all readers. Raises [Invalid_argument] if
+      already filled. *)
+
+  val try_fill : 'a ivar -> 'a -> bool
+  (** Like {!fill} but returns [false] instead of raising when full. *)
+
+  val read : 'a ivar -> 'a
+  (** Block until filled (immediate if already filled). *)
+
+  val peek : 'a ivar -> 'a option
+  val is_filled : 'a ivar -> bool
+end
+
+(** Unbounded FIFO channel between fibers. *)
+module Chan : sig
+  type 'a chan
+
+  val create : t -> 'a chan
+  val send : 'a chan -> 'a -> unit
+  val recv : 'a chan -> 'a
+  (** Block until an element is available. *)
+
+  val recv_timeout : 'a chan -> int -> 'a option
+  (** [recv_timeout c ns] waits at most [ns] virtual nanoseconds; [None] on
+      timeout. *)
+
+  val poll : 'a chan -> 'a option
+  (** Non-blocking receive. *)
+
+  val length : 'a chan -> int
+end

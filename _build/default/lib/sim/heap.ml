@@ -1,0 +1,70 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 64 else cap * 2 in
+  (* Array.make needs a witness; reuse slot 0 when present. *)
+  if cap = 0 then ()
+  else begin
+    let ndata = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let push t ~key ~seq value =
+  let e = { key; seq; value } in
+  if Array.length t.data = 0 then t.data <- Array.make 64 e
+  else if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less t.data.(!i) t.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(parent) in
+    t.data.(parent) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := parent
+  done
+
+let peek_key t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).seq)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!smallest) in
+          t.data.(!smallest) <- t.data.(!i);
+          t.data.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some top.value
+  end

@@ -1,0 +1,19 @@
+(** Minimal binary min-heap specialised for the event queue.
+
+    Elements are ordered by an integer key with an integer tiebreaker
+    (insertion sequence), giving deterministic FIFO order among events
+    scheduled for the same instant. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+
+val peek_key : 'a t -> (int * int) option
+(** Key and sequence of the minimum element, if any. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)

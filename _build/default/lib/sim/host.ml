@@ -1,0 +1,101 @@
+type liveness = Running | Paused | Process_stopped | Host_dead
+
+type t = {
+  engine : Engine.t;
+  calibration : Calibration.t;
+  id : int;
+  name : string;
+  rng : Rng.t;
+  mutable state : liveness;
+  mutable resume_gate : unit Engine.Ivar.ivar;
+  mutable cpu_since_jitter : int;
+  mutable next_jitter_at : int;
+}
+
+let schedule_next_jitter t =
+  (* Exponentially-distributed CPU budget until the next descheduling
+     event. *)
+  let mean = float_of_int t.calibration.Calibration.cpu_jitter_period in
+  t.next_jitter_at <- int_of_float (Rng.exponential t.rng ~mean) + 1
+
+let create engine calibration ~id ~name =
+  let t =
+    {
+      engine;
+      calibration;
+      id;
+      name;
+      rng = Rng.split (Engine.rng engine);
+      state = Running;
+      resume_gate = Engine.Ivar.create engine;
+      cpu_since_jitter = 0;
+      next_jitter_at = max_int;
+    }
+  in
+  schedule_next_jitter t;
+  t
+
+let engine t = t.engine
+let calibration t = t.calibration
+let id t = t.id
+let name t = t.name
+let rng t = t.rng
+let liveness t = t.state
+
+let nic_reachable t =
+  match t.state with Running | Paused | Process_stopped -> true | Host_dead -> false
+
+let process_alive t = match t.state with Running | Paused -> true | Process_stopped | Host_dead -> false
+
+let park_forever () = Engine.suspend (fun (_ : unit -> unit) -> ())
+
+let rec check t =
+  match t.state with
+  | Running -> ()
+  | Paused ->
+    Engine.Ivar.read t.resume_gate;
+    check t
+  | Process_stopped | Host_dead -> park_forever ()
+
+let cpu t ns =
+  check t;
+  Engine.sleep t.engine ns;
+  t.cpu_since_jitter <- t.cpu_since_jitter + ns;
+  if t.cpu_since_jitter >= t.next_jitter_at then begin
+    t.cpu_since_jitter <- 0;
+    schedule_next_jitter t;
+    let jitter = Distribution.sample_ns t.calibration.Calibration.cpu_jitter t.rng in
+    Engine.sleep t.engine jitter
+  end;
+  check t
+
+let idle t ns =
+  check t;
+  Engine.sleep t.engine ns;
+  check t
+
+let spawn t ~name f =
+  Engine.spawn t.engine ~name:(Printf.sprintf "%s/%s" t.name name) (fun () ->
+      check t;
+      f ())
+
+let pause t =
+  match t.state with
+  | Running ->
+    t.state <- Paused;
+    t.resume_gate <- Engine.Ivar.create t.engine
+  | Paused | Process_stopped | Host_dead -> ()
+
+let resume t =
+  match t.state with
+  | Paused ->
+    t.state <- Running;
+    Engine.Ivar.fill t.resume_gate ()
+  | Running | Process_stopped | Host_dead -> ()
+
+let stop_process t =
+  match t.state with
+  | Host_dead -> ()
+  | Running | Paused | Process_stopped -> t.state <- Process_stopped
+
+let kill_host t = t.state <- Host_dead

@@ -1,0 +1,62 @@
+type t = { mutable state : int64; mutable spare : float option }
+
+let create seed = { state = seed; spare = None }
+
+(* splitmix64 step: state += golden gamma; output mixed. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (int64 t)
+
+let float t =
+  (* Use the top 53 bits for a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value stays non-negative as an OCaml int;
+     modulo bias is negligible for bound << 2^62. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t =
+  match t.spare with
+  | Some g ->
+    t.spare <- None;
+    g
+  | None ->
+    (* Box-Muller; guard against log 0. *)
+    let rec draw () =
+      let u = float t in
+      if u <= 1e-300 then draw () else u
+    in
+    let u1 = draw () and u2 = float t in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.spare <- Some (r *. sin theta);
+    r *. cos theta
+
+let exponential t ~mean =
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-300 then draw () else u
+  in
+  -.mean *. log (draw ())
+
+let lognormal t ~mu ~sigma = exp (mu +. (sigma *. gaussian t))
+
+let pareto t ~scale ~shape =
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-300 then draw () else u
+  in
+  scale /. (draw () ** (1.0 /. shape))

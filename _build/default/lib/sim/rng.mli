@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that whole-system runs are reproducible from a single seed.
+    The generator is splitmix64: tiny state, good statistical quality, and
+    cheap splitting for deriving independent per-component streams. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of
+    subsequent draws from [t]. Used to give each host/NIC its own stream so
+    adding a component does not perturb the draws of the others. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller, one spare cached). *)
+
+val exponential : t -> mean:float -> float
+(** Exponential deviate with the given mean. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Lognormal deviate: [exp (mu + sigma * gaussian)]. *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Pareto deviate with minimum [scale] and tail index [shape]. *)

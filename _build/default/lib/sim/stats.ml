@@ -1,0 +1,123 @@
+let ns_to_us ns = float_of_int ns /. 1000.0
+
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = t.mean
+  let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+  let min t = t.min
+  let max t = t.max
+end
+
+module Samples = struct
+  type t = {
+    mutable data : int array;
+    mutable size : int;
+    mutable sorted : int array option;  (* cache, invalidated on add *)
+  }
+
+  let create () = { data = [||]; size = 0; sorted = None }
+
+  let add t x =
+    if t.size = Array.length t.data then begin
+      let ncap = Stdlib.max 1024 (2 * Array.length t.data) in
+      let ndata = Array.make ncap 0 in
+      Array.blit t.data 0 ndata 0 t.size;
+      t.data <- ndata
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    t.sorted <- None
+
+  let count t = t.size
+  let is_empty t = t.size = 0
+
+  let sorted t =
+    match t.sorted with
+    | Some s -> s
+    | None ->
+      let s = Array.sub t.data 0 t.size in
+      Array.sort compare s;
+      t.sorted <- Some s;
+      s
+
+  let percentile t p =
+    if t.size = 0 then invalid_arg "Samples.percentile: empty";
+    if p < 0.0 || p > 100.0 then invalid_arg "Samples.percentile: p out of range";
+    let s = sorted t in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.size)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.size - 1) (rank - 1)) in
+    s.(idx)
+
+  let median t = percentile t 50.0
+
+  let mean t =
+    if t.size = 0 then invalid_arg "Samples.mean: empty";
+    let sum = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      sum := !sum +. float_of_int t.data.(i)
+    done;
+    !sum /. float_of_int t.size
+
+  let min t = percentile t 0.0
+  let max t = percentile t 100.0
+  let to_list t = Array.to_list (Array.sub t.data 0 t.size)
+
+  let pp_us ppf t =
+    if t.size = 0 then Fmt.string ppf "<no samples>"
+    else
+      Fmt.pf ppf "%.2f (%.2f .. %.2f) us"
+        (ns_to_us (median t))
+        (ns_to_us (percentile t 1.0))
+        (ns_to_us (percentile t 99.0))
+end
+
+module Histogram = struct
+  type t = { bucket_width : int; counts : (int, int) Hashtbl.t; mutable total : int }
+
+  let create ~bucket_width =
+    if bucket_width <= 0 then invalid_arg "Histogram.create: width must be positive";
+    { bucket_width; counts = Hashtbl.create 64; total = 0 }
+
+  let add t x =
+    let b = if x >= 0 then x / t.bucket_width else (x - t.bucket_width + 1) / t.bucket_width in
+    let cur = Option.value (Hashtbl.find_opt t.counts b) ~default:0 in
+    Hashtbl.replace t.counts b (cur + 1);
+    t.total <- t.total + 1
+
+  let buckets t =
+    Hashtbl.fold (fun b c acc -> (b * t.bucket_width, c) :: acc) t.counts []
+    |> List.sort compare
+
+  let total t = t.total
+
+  let pp ?(max_width = 50) () ppf t =
+    let bs = buckets t in
+    let peak = List.fold_left (fun acc (_, c) -> Stdlib.max acc c) 1 bs in
+    List.iter
+      (fun (start, c) ->
+        let bar = Stdlib.max 1 (c * max_width / peak) in
+        Fmt.pf ppf "%8.1f us | %-*s %d@."
+          (ns_to_us start)
+          max_width
+          (String.make bar '#')
+          c)
+      bs
+end

@@ -1,0 +1,63 @@
+(** Measurement statistics: online summaries, sample sets with percentiles,
+    and fixed-width histograms.
+
+    The paper reports median / 1-percentile / 99-percentile latencies over
+    1 M samples (§7); {!Samples} reproduces those statistics, and
+    {!Histogram} reproduces the fail-over distribution of Fig. 6. *)
+
+(** Online mean/variance (Welford) without retaining samples. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** Retained sample set (ints, typically nanoseconds) with percentiles. *)
+module Samples : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val count : t -> int
+  val is_empty : t -> bool
+
+  val percentile : t -> float -> int
+  (** [percentile t p] with [p] in [0, 100]; nearest-rank on the sorted
+      samples. Raises [Invalid_argument] if empty. *)
+
+  val median : t -> int
+  val mean : t -> float
+  val min : t -> int
+  val max : t -> int
+
+  val to_list : t -> int list
+  (** Samples in insertion order. *)
+
+  val pp_us : t Fmt.t
+  (** Render as "median (p1 .. p99) µs" — the paper's bar + error-bar
+      format. *)
+end
+
+(** Fixed-width histogram over integer values. *)
+module Histogram : sig
+  type t
+
+  val create : bucket_width:int -> t
+  val add : t -> int -> unit
+  val buckets : t -> (int * int) list
+  (** [(bucket_start, count)] for non-empty buckets, ascending. *)
+
+  val total : t -> int
+
+  val pp : ?max_width:int -> unit -> t Fmt.t
+  (** ASCII rendering, one row per bucket with a proportional bar. *)
+end
+
+val ns_to_us : int -> float
+(** Nanoseconds to microseconds. *)

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Apps Array Baselines Bytes Generators Int64 List Mu Option Printf Rdma Sim

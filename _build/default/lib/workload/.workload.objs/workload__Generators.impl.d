@@ -1,0 +1,1 @@
+lib/workload/generators.ml: Apps Array Bytes Char Hashtbl List Printf Sim

@@ -1,0 +1,1 @@
+lib/workload/linearizability.ml: Array Hashtbl List Option

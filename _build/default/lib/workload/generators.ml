@@ -1,0 +1,106 @@
+let payload rng ~size =
+  let b = Bytes.create size in
+  for i = 0 to size - 1 do
+    Bytes.set b i (Char.chr (Sim.Rng.int rng 256))
+  done;
+  b
+
+(* Zipf via the Gray et al. quick approximation: draw u and map through the
+   generalized harmonic CDF computed once per (n, theta). *)
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_cdf n theta =
+  match Hashtbl.find_opt zipf_cache (n, theta) with
+  | Some c -> c
+  | None ->
+    let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i w ->
+        acc := !acc +. (w /. total);
+        cdf.(i) <- !acc)
+      weights;
+    Hashtbl.replace zipf_cache (n, theta) cdf;
+    cdf
+
+let zipf rng ~n ~theta =
+  if theta <= 0.0 then Sim.Rng.int rng n
+  else begin
+    let cdf = zipf_cdf n theta in
+    let u = Sim.Rng.float rng in
+    (* Binary search for the first index with cdf >= u. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+type kv_mix = { read_ratio : float; keys : int; value_size : int; theta : float }
+
+let default_kv_mix = { read_ratio = 0.5; keys = 10_000; value_size = 32; theta = 0.99 }
+
+let kv_command rng mix ~client:_ ~req_id:_ =
+  let key = Printf.sprintf "key-%08d" (zipf rng ~n:mix.keys ~theta:mix.theta) in
+  if Sim.Rng.float rng < mix.read_ratio then Apps.Kv_store.Get { key }
+  else
+    Apps.Kv_store.Put
+      { key; value = Bytes.to_string (payload rng ~size:mix.value_size) }
+
+type order_flow = {
+  rng : Sim.Rng.t;
+  mutable midpoint : int;
+  spread : int;
+  mutable next_id : int;
+  mutable open_ids : int list;
+  mutable placed : int;
+}
+
+let order_flow ?(midpoint = 10_000) ?(spread = 10) rng =
+  { rng; midpoint; spread; next_id = 1; open_ids = []; placed = 0 }
+
+let next_order t =
+  let fresh_id () =
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    id
+  in
+  let roll = Sim.Rng.float t.rng in
+  if roll < 0.08 then begin
+    (* Random walk of the midpoint keeps the book moving. *)
+    t.midpoint <- max 100 (t.midpoint + Sim.Rng.int t.rng 5 - 2);
+    let id = fresh_id () in
+    t.placed <- t.placed + 1;
+    Apps.Exchange.Market
+      {
+        id;
+        side = (if Sim.Rng.bool t.rng then Apps.Order_book.Buy else Apps.Order_book.Sell);
+        qty = 1 + Sim.Rng.int t.rng 20;
+      }
+  end
+  else if roll < 0.18 && t.open_ids <> [] then begin
+    match t.open_ids with
+    | id :: rest ->
+      t.open_ids <- rest;
+      Apps.Exchange.Cancel { id }
+    | [] -> assert false
+  end
+  else begin
+    let id = fresh_id () in
+    t.placed <- t.placed + 1;
+    let side = if Sim.Rng.bool t.rng then Apps.Order_book.Buy else Apps.Order_book.Sell in
+    let off = Sim.Rng.int t.rng t.spread in
+    let price =
+      match side with
+      | Apps.Order_book.Buy -> t.midpoint - t.spread + off + Sim.Rng.int t.rng (t.spread + 2)
+      | Apps.Order_book.Sell -> t.midpoint + t.spread - off - Sim.Rng.int t.rng (t.spread + 2)
+    in
+    let price = max 1 price in
+    if List.length t.open_ids < 512 then t.open_ids <- id :: t.open_ids;
+    Apps.Exchange.Limit { id; side; price; qty = 1 + Sim.Rng.int t.rng 10 }
+  end
+
+let order_flow_orders_placed t = t.placed

@@ -1,0 +1,30 @@
+(** Workload generators for the evaluation harness (§7).
+
+    The paper's experiments use small fixed-size payloads (64 B unless
+    stated, §7), KV operations over a keyspace, and a stream of exchange
+    orders. All generators are deterministic given their PRNG. *)
+
+val payload : Sim.Rng.t -> size:int -> Bytes.t
+(** Random opaque payload of the given size. *)
+
+val zipf : Sim.Rng.t -> n:int -> theta:float -> int
+(** Zipfian key index in [0, n) with skew [theta] (0 = uniform; 0.99 =
+    YCSB default). Uses the standard rejection-free approximation. *)
+
+type kv_mix = { read_ratio : float; keys : int; value_size : int; theta : float }
+
+val default_kv_mix : kv_mix
+
+val kv_command : Sim.Rng.t -> kv_mix -> client:int -> req_id:int -> Apps.Kv_store.command
+(** One GET/PUT per the mix. *)
+
+(** A stream of plausible exchange order flow: limit orders around a
+    drifting midpoint, occasional market orders and cancels. *)
+type order_flow
+
+val order_flow : ?midpoint:int -> ?spread:int -> Sim.Rng.t -> order_flow
+
+val next_order : order_flow -> Apps.Exchange.command
+(** Generate the next command; ids are unique and increasing. *)
+
+val order_flow_orders_placed : order_flow -> int

@@ -1,0 +1,58 @@
+type op_kind = Read of string option | Write of string
+
+type op = { proc : int; invoked : int; responded : int; key : string; kind : op_kind }
+
+(* Backtracking search for a linearization of one key's history. State is
+   the current register value. A candidate for the next linearization
+   point is any remaining operation invoked before every remaining
+   operation's response (i.e., not real-time-after any remaining op). *)
+let check_key ops =
+  (match ops with
+  | [] -> ()
+  | first :: rest ->
+    List.iter (fun o -> if o.key <> first.key then invalid_arg "check_key: multiple keys") rest);
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let used = Array.make n false in
+  let rec go remaining state =
+    if remaining = 0 then true
+    else begin
+      (* minimum response time among remaining ops *)
+      let min_res = ref max_int in
+      for i = 0 to n - 1 do
+        if (not used.(i)) && arr.(i).responded < !min_res then min_res := arr.(i).responded
+      done;
+      let rec try_candidates i =
+        if i >= n then false
+        else if used.(i) || arr.(i).invoked > !min_res then try_candidates (i + 1)
+        else begin
+          let o = arr.(i) in
+          let ok, state' =
+            match o.kind with
+            | Write v -> (true, Some v)
+            | Read observed -> (observed = state, state)
+          in
+          if ok then begin
+            used.(i) <- true;
+            if go (remaining - 1) state' then true
+            else begin
+              used.(i) <- false;
+              try_candidates (i + 1)
+            end
+          end
+          else try_candidates (i + 1)
+        end
+      in
+      try_candidates 0
+    end
+  in
+  go n None
+
+let check ops =
+  let by_key = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      let cur = Option.value (Hashtbl.find_opt by_key o.key) ~default:[] in
+      Hashtbl.replace by_key o.key (o :: cur))
+    ops;
+  Hashtbl.fold (fun _ key_ops acc -> acc && check_key (List.rev key_ops)) by_key true

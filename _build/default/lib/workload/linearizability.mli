@@ -1,0 +1,32 @@
+(** A linearizability checker for key-value histories.
+
+    Mu claims linearizability (§1, §2.2); this module lets tests verify
+    the claim empirically: record each client operation's invocation and
+    response times plus its observed result, and {!check} searches for a
+    legal linearization — a total order of the operations that (a)
+    respects real-time precedence (an operation that responded before
+    another was invoked must come first) and (b) is a valid sequential
+    KV execution producing exactly the observed results.
+
+    The search is the standard Wing & Gong backtracking restricted to
+    register semantics per key; histories are checked per key
+    independently (KV operations on distinct keys commute). Intended for
+    test-sized histories (hundreds of operations). *)
+
+type op_kind =
+  | Read of string option  (** Observed value ([None] = not found). *)
+  | Write of string
+
+type op = {
+  proc : int;  (** Client id (operations of one client never overlap). *)
+  invoked : int;  (** Virtual invocation time. *)
+  responded : int;  (** Virtual response time. *)
+  key : string;
+  kind : op_kind;
+}
+
+val check : op list -> bool
+(** Whether the history is linearizable. *)
+
+val check_key : op list -> bool
+(** Check a single-key history (all ops must share one key). *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Bytes Exchange Kv_store List Mu Order_book Sim String Transport Util Workload

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Bytes Char Int64 List Mu Printf Rdma Sim Util Workload

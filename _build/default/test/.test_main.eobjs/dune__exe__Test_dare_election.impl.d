@@ -1,0 +1,1 @@
+test/test_dare_election.ml: Alcotest Array Baselines Hashtbl Printf Sim Util

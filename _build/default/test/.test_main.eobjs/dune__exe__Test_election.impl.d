@@ -1,0 +1,1 @@
+test/test_election.ml: Alcotest Array Hashtbl Int64 Mu Printf Sim Util

@@ -1,0 +1,1 @@
+test/test_herd.ml: Alcotest Apps Array Bytes Fun Mu Printf Sim Util

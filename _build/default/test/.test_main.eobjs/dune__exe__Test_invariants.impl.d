@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Bytes Fmt Fun List Mu Option Rdma Sim Util

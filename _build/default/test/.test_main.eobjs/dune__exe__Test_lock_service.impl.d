@@ -1,0 +1,1 @@
+test/test_lock_service.ml: Alcotest Apps Bytes Fmt Fun List Lock_service Mu Printf Sim Util Workload

@@ -1,0 +1,1 @@
+test/test_membership.ml: Alcotest Apps Hashtbl List Mu Printf Sim Util

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Baselines Fmt Fun Hashtbl Int64 List Mu Printf Rdma Sim String Util

@@ -1,0 +1,1 @@
+test/test_order_book.ml: Alcotest Apps List Order_book Sim

@@ -1,0 +1,1 @@
+test/test_permissions.ml: Alcotest Array Bytes Hashtbl Int64 List Mu Option Printf Rdma Sim Util

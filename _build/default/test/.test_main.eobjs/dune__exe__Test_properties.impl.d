@@ -1,0 +1,1 @@
+test/test_properties.ml: Apps Array Bytes Char Fun Gen Hashtbl Int64 List Mu Option Printf QCheck QCheck_alcotest Rdma Sim String Util Workload

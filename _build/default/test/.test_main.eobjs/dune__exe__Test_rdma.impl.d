@@ -1,0 +1,1 @@
+test/test_rdma.ml: Alcotest Array Bytes Int64 Printf Rdma Sim Util

@@ -1,0 +1,1 @@
+test/test_rdma_layers.ml: Alcotest Bytes List Rdma Sim Util

@@ -1,0 +1,1 @@
+test/test_replayer.ml: Alcotest Array Bytes Int64 List Mu Rdma Sim Util

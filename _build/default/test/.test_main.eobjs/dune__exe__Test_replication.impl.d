@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Bytes List Mu Option Printf Rdma Sim Util

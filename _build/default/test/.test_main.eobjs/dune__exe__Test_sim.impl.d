@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Fmt List Option Printf Sim Util

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Bytes Fmt Fun Hashtbl List Mu Option Printf Sim Util

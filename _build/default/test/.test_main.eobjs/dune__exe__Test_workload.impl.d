@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Apps Array Bytes Int64 List Mu Printf Sim Util Workload

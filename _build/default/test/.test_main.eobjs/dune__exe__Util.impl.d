@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Bytes Mu Option Printf Rdma Sim

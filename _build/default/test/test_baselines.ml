@@ -1,0 +1,112 @@
+(* Tests for the comparison systems: each replicates correctly over the
+   fabric and exhibits its characteristic protocol structure. *)
+
+let check = Alcotest.(check bool)
+
+let with_baseline make f =
+  Util.run_fiber ~until:30_000_000_000 (fun e ->
+      let c = Baselines.Common.create e Util.default_cal ~n:3 ~mr_size:65_536 in
+      let engine = make c in
+      let done_ = Sim.Engine.Ivar.create e in
+      Sim.Host.spawn c.Baselines.Common.hosts.(0) ~name:"driver" (fun () ->
+          Sim.Engine.Ivar.fill done_ (f e c engine));
+      Sim.Engine.Ivar.read done_)
+
+let median_latency e engine n =
+  ignore e;
+  let s = Sim.Stats.Samples.create () in
+  for i = 1 to n do
+    Sim.Stats.Samples.add s
+      (engine.Baselines.Common.replicate (Bytes.make 64 (Char.chr (i mod 256))))
+  done;
+  s
+
+let dare_replicates_and_is_slower_than_one_write () =
+  with_baseline Baselines.Dare.create (fun e c engine ->
+      let s = median_latency e engine 500 in
+      let m = Sim.Stats.Samples.median s in
+      (* Three sequential one-sided rounds: several times a single RTT. *)
+      check (Printf.sprintf "DARE ~3 rounds (%dns)" m) true (m > 3_500 && m < 7_000);
+      (* Data and pointers landed at the followers. *)
+      check "entry at follower" true
+        (Rdma.Mr.get_i64 c.Baselines.Common.mrs.(1) ~off:0 > 0L);
+      check "tail pointer advanced" true
+        (Rdma.Mr.get_i64 c.Baselines.Common.mrs.(1) ~off:4096 = Int64.of_int 500);
+      check "commit pointer advanced" true
+        (Rdma.Mr.get_i64 c.Baselines.Common.mrs.(1) ~off:4104 = Int64.of_int 500))
+
+let apus_involves_follower_cpu () =
+  with_baseline Baselines.Apus.create (fun e _c engine ->
+      let s = median_latency e engine 500 in
+      let m = Sim.Stats.Samples.median s in
+      (* Two wire legs plus follower poll+process: ~4x Mu (Fig. 4). *)
+      check (Printf.sprintf "APUS ~5us (%dns)" m) true (m > 4_000 && m < 7_000))
+
+let apus_paused_follower_stalls_acks () =
+  with_baseline Baselines.Apus.create (fun e c engine ->
+      ignore (median_latency e engine 50);
+      (* Pause one follower: its CPU is on the critical path, but a
+         majority (the other follower) suffices. Pause both: no progress
+         until resume. *)
+      Sim.Host.pause c.Baselines.Common.hosts.(1);
+      let t0 = Sim.Engine.now e in
+      ignore (engine.Baselines.Common.replicate (Bytes.make 64 'x'));
+      check "one paused follower tolerated" true (Sim.Engine.now e - t0 < 1_000_000);
+      Sim.Host.resume c.Baselines.Common.hosts.(1))
+
+let hermes_needs_all_acks () =
+  with_baseline Baselines.Hermes.create (fun e c engine ->
+      let s = median_latency e engine 500 in
+      let m = Sim.Stats.Samples.median s in
+      check (Printf.sprintf "Hermes ~3.5us (%dns)" m) true (m > 2_800 && m < 5_000);
+      (* Hermes blocks on every replica: pausing one member stalls writes
+         (its membership reconfiguration is out of scope here). *)
+      Sim.Host.pause c.Baselines.Common.hosts.(2);
+      let finished = ref false in
+      Sim.Host.spawn c.Baselines.Common.hosts.(0) ~name:"stuck-write" (fun () ->
+          ignore (engine.Baselines.Common.replicate (Bytes.make 64 'x'));
+          finished := true);
+      Sim.Engine.sleep e 5_000_000;
+      check "write blocked without all acks" false !finished;
+      Sim.Host.resume c.Baselines.Common.hosts.(2);
+      Sim.Engine.sleep e 5_000_000;
+      check "write completes after resume" true !finished)
+
+let hovercraft_order_of_magnitude () =
+  with_baseline Baselines.Hovercraft.create (fun e _c engine ->
+      let s = median_latency e engine 300 in
+      let m = Sim.Stats.Samples.median s in
+      check (Printf.sprintf "HovercRaft 30-60us (%dns)" m) true
+        (m > 25_000 && m < 70_000))
+
+let baselines_slower_than_mu () =
+  (* The headline comparison (Fig. 4): every baseline is at least 2.7x Mu. *)
+  let mu =
+    Workload.Experiments.mu_replication_latency
+      { Workload.Experiments.default_setup with seed = 11L }
+      ~samples:500 ~payload:64 ~attach:Mu.Config.Standalone
+  in
+  let mu_m = Sim.Stats.Samples.median mu in
+  List.iter
+    (fun system ->
+      let s =
+        Workload.Experiments.baseline_replication_latency
+          { Workload.Experiments.default_setup with seed = 11L }
+          ~samples:500 ~system ~payload:64
+      in
+      let m = Sim.Stats.Samples.median s in
+      check
+        (Printf.sprintf "baseline %dns vs Mu %dns" m mu_m)
+        true
+        (float_of_int m >= 2.5 *. float_of_int mu_m))
+    [ `Dare; `Apus; `Hermes; `Hovercraft ]
+
+let suite =
+  [
+    ("dare: 3 sequential rounds", `Quick, dare_replicates_and_is_slower_than_one_write);
+    ("apus: follower cpu on critical path", `Quick, apus_involves_follower_cpu);
+    ("apus: tolerates one paused follower", `Quick, apus_paused_follower_stalls_acks);
+    ("hermes: needs all acks", `Quick, hermes_needs_all_acks);
+    ("hovercraft: order of magnitude", `Quick, hovercraft_order_of_magnitude);
+    ("all baselines slower than Mu", `Quick, baselines_slower_than_mu);
+  ]

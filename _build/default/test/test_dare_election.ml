@@ -1,0 +1,100 @@
+(* Tests for DARE's RAFT-style election (the comparison system's fail-over
+   path, §8 / §1). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_election ?(n = 3) ?election_timeout_ms f =
+  let e = Util.engine () in
+  let c = Baselines.Common.create e Util.default_cal ~n ~mr_size:65_536 in
+  let d = Baselines.Dare_election.create ?election_timeout_ms c in
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"driver" (fun () ->
+      result := Some (f e c d);
+      Sim.Engine.halt e);
+  Sim.Engine.run ~until:600_000_000_000 e;
+  match !result with Some r -> r | None -> Alcotest.fail "scenario did not finish"
+
+let initial_leader_stable () =
+  with_election (fun e _c d ->
+      Sim.Engine.sleep e 200_000_000;
+      (* No failures: node 0 leads throughout; terms do not churn. *)
+      check "leader is 0" true (Baselines.Dare_election.current_leader d = Some 0);
+      check_int "term stayed 1" 1 (Baselines.Dare_election.term d 0);
+      check "others follow" true
+        (Baselines.Dare_election.role d 1 = Baselines.Dare_election.Follower
+        && Baselines.Dare_election.role d 2 = Baselines.Dare_election.Follower))
+
+let failover_takes_tens_of_ms () =
+  with_election (fun e c d ->
+      Sim.Engine.sleep e 50_000_000;
+      let t0 = Sim.Engine.now e in
+      Sim.Host.pause c.Baselines.Common.hosts.(0);
+      let rec wait () =
+        match Baselines.Dare_election.current_leader d with
+        | Some l when l <> 0 -> l
+        | _ ->
+          Sim.Engine.sleep e 500_000;
+          wait ()
+      in
+      let new_leader = wait () in
+      let dt = Sim.Engine.now e - t0 in
+      check "a follower won" true (new_leader = 1 || new_leader = 2);
+      check
+        (Printf.sprintf "election-timeout bound fail-over (%d ms)" (dt / 1_000_000))
+        true
+        (dt > 15_000_000 && dt < 60_000_000);
+      check "term advanced" true (Baselines.Dare_election.term d new_leader >= 2);
+      Sim.Host.resume c.Baselines.Common.hosts.(0);
+      (* The stale leader steps down on seeing the higher term. *)
+      let rec wait_demote () =
+        if Baselines.Dare_election.role d 0 = Baselines.Dare_election.Leader then begin
+          Sim.Engine.sleep e 1_000_000;
+          wait_demote ()
+        end
+      in
+      wait_demote ();
+      check "old leader demoted" true
+        (Baselines.Dare_election.role d 0 <> Baselines.Dare_election.Leader))
+
+let at_most_one_leader_per_term () =
+  with_election (fun e c d ->
+      (* Churn leadership a few times and verify no two live nodes ever
+         claim leadership in the same term. *)
+      for _ = 1 to 3 do
+        Sim.Engine.sleep e 30_000_000;
+        (match Baselines.Dare_election.current_leader d with
+        | Some l ->
+          Sim.Host.pause c.Baselines.Common.hosts.(l);
+          Sim.Engine.sleep e 80_000_000;
+          Sim.Host.resume c.Baselines.Common.hosts.(l)
+        | None -> ());
+        Sim.Engine.sleep e 20_000_000;
+        let leaders_by_term = Hashtbl.create 4 in
+        for i = 0 to 2 do
+          if Baselines.Dare_election.role d i = Baselines.Dare_election.Leader then begin
+            let t = Baselines.Dare_election.term d i in
+            check
+              (Printf.sprintf "unique leader for term %d" t)
+              false
+              (Hashtbl.mem leaders_by_term t);
+            Hashtbl.replace leaders_by_term t i
+          end
+        done
+      done)
+
+let measured_failover_matches_paper () =
+  with_election (fun _e _c d ->
+      let s = Baselines.Dare_election.measure_failover d ~rounds:15 in
+      let median_ms = float_of_int (Sim.Stats.Samples.median s) /. 1.0e6 in
+      (* The paper: "DARE 30 milliseconds" (§1). *)
+      check (Printf.sprintf "median %.1f ms in 20-45" median_ms) true
+        (median_ms > 20.0 && median_ms < 45.0))
+
+let suite =
+  [
+    ("initial leader stable", `Quick, initial_leader_stable);
+    ("failover takes tens of ms", `Quick, failover_takes_tens_of_ms);
+    ("at most one leader per term", `Quick, at_most_one_leader_per_term);
+    ("measured failover matches paper", `Quick, measured_failover_matches_paper);
+  ]

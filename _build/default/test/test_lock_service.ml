@@ -1,0 +1,207 @@
+(* Tests for the replicated lock service, plus the persistent-log
+   extension. *)
+
+open Apps
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let acquire t c l = Lock_service.apply t (Lock_service.Acquire { client = c; lock = l })
+let release t c l = Lock_service.apply t (Lock_service.Release { client = c; lock = l })
+let holder_q t l = Lock_service.apply t (Lock_service.Holder { lock = l })
+
+let free_lock_granted () =
+  let t = Lock_service.create () in
+  (match acquire t 1 "L" with
+  | Lock_service.Granted { fence } -> check "fence positive" true (fence > 0)
+  | _ -> Alcotest.fail "expected grant");
+  check "held" true (Lock_service.holder t "L" <> None)
+
+let reacquire_is_idempotent () =
+  let t = Lock_service.create () in
+  let f1 = match acquire t 1 "L" with Lock_service.Granted { fence } -> fence | _ -> -1 in
+  let f2 = match acquire t 1 "L" with Lock_service.Granted { fence } -> fence | _ -> -1 in
+  check_int "same fence on re-acquire" f1 f2
+
+let contender_queues_fifo () =
+  let t = Lock_service.create () in
+  ignore (acquire t 1 "L");
+  check "2 queued at 1" true (acquire t 2 "L" = Lock_service.Queued { position = 1 });
+  check "3 queued at 2" true (acquire t 3 "L" = Lock_service.Queued { position = 2 });
+  check "re-queue keeps position" true (acquire t 2 "L" = Lock_service.Queued { position = 1 });
+  ignore (release t 1 "L");
+  (* FIFO hand-off: 2 now holds. *)
+  (match Lock_service.holder t "L" with
+  | Some (2, _) -> ()
+  | _ -> Alcotest.fail "lock should pass to client 2");
+  check_int "queue shrank" 1 (Lock_service.queue_length t "L")
+
+let fences_strictly_increase () =
+  let t = Lock_service.create () in
+  let fence_of = function Lock_service.Granted { fence } -> fence | _ -> -1 in
+  let f1 = fence_of (acquire t 1 "L") in
+  ignore (release t 1 "L");
+  let f2 = fence_of (acquire t 2 "L") in
+  ignore (release t 2 "L");
+  let f3 = fence_of (acquire t 1 "L") in
+  check "monotonic" true (f1 < f2 && f2 < f3)
+
+let release_by_non_holder_rejected () =
+  let t = Lock_service.create () in
+  ignore (acquire t 1 "L");
+  check "not held" true (release t 2 "L" = Lock_service.Not_held);
+  check "free lock release rejected" true (release t 3 "M" = Lock_service.Not_held)
+
+let holder_query () =
+  let t = Lock_service.create () in
+  check "free" true (holder_q t "L" = Lock_service.Free);
+  ignore (acquire t 5 "L");
+  match holder_q t "L" with
+  | Lock_service.Held_by { client = 5; _ } -> ()
+  | _ -> Alcotest.fail "expected held by 5"
+
+let independent_locks () =
+  let t = Lock_service.create () in
+  ignore (acquire t 1 "A");
+  (match acquire t 2 "B" with
+  | Lock_service.Granted _ -> ()
+  | _ -> Alcotest.fail "distinct locks are independent");
+  check_int "two held" 2 (Lock_service.locks_held t)
+
+let codec_roundtrip () =
+  List.iter
+    (fun cmd ->
+      match Lock_service.decode_command (Lock_service.encode_command ~client:9 ~req_id:4 cmd) with
+      | Some (9, 4, cmd') -> check "roundtrip" true (cmd = cmd')
+      | _ -> Alcotest.fail "decode failed")
+    [
+      Lock_service.Acquire { client = 3; lock = "a-lock" };
+      Lock_service.Release { client = 4; lock = "" };
+      Lock_service.Holder { lock = "x" };
+    ];
+  List.iter
+    (fun r ->
+      check "reply roundtrip" true
+        (Lock_service.decode_reply (Lock_service.encode_reply r) = Some r))
+    [
+      Lock_service.Granted { fence = 7 };
+      Lock_service.Queued { position = 2 };
+      Lock_service.Released;
+      Lock_service.Not_held;
+      Lock_service.Held_by { client = 1; fence = 9 };
+      Lock_service.Free;
+    ]
+
+let snapshot_restore () =
+  let t = Lock_service.create () in
+  ignore (acquire t 1 "L");
+  ignore (acquire t 2 "L");
+  ignore (acquire t 3 "L");
+  ignore (acquire t 4 "M");
+  let t' = Lock_service.restore (Lock_service.snapshot t) in
+  check "owner preserved" true (Lock_service.holder t' "L" = Lock_service.holder t "L");
+  check_int "queue preserved" 2 (Lock_service.queue_length t' "L");
+  (* Hand-off still works after restore, with a fresh (higher) fence. *)
+  ignore (release t' 1 "L");
+  match Lock_service.holder t' "L" with
+  | Some (2, f) ->
+    let original_fence = match Lock_service.holder t "L" with Some (_, f) -> f | None -> -1 in
+    check "fence advanced past snapshot" true (f > original_fence)
+  | _ -> Alcotest.fail "hand-off after restore failed"
+
+(* --- replicated, with fail-over ------------------------------------------- *)
+
+let replicated_lock_service_failover () =
+  let e = Util.engine () in
+  let smr =
+    Mu.Smr.create e Util.default_cal Mu.Config.default ~make_app:(fun _ ->
+        Lock_service.smr_app ())
+  in
+  Mu.Smr.start smr;
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"driver" (fun () ->
+      Mu.Smr.wait_live smr;
+      let call client req_id cmd =
+        Lock_service.decode_reply
+          (Mu.Smr.submit smr (Lock_service.encode_command ~client ~req_id cmd))
+      in
+      (match call 1 1 (Lock_service.Acquire { client = 1; lock = "leader-election" }) with
+      | Some (Lock_service.Granted _) -> ()
+      | _ -> Alcotest.fail "client 1 should acquire");
+      ignore (call 2 1 (Lock_service.Acquire { client = 2; lock = "leader-election" }));
+      (* Kill the SMR leader; the lock state must survive. *)
+      let r0 = Mu.Smr.replica smr 0 in
+      Sim.Host.pause r0.Mu.Replica.host;
+      (match call 3 1 (Lock_service.Holder { lock = "leader-election" }) with
+      | Some (Lock_service.Held_by { client = 1; _ }) -> ()
+      | _ -> Alcotest.fail "lock lost across failover");
+      (* Client 1 releases; client 2 must inherit, still during failover. *)
+      (match call 1 2 (Lock_service.Release { client = 1; lock = "leader-election" }) with
+      | Some Lock_service.Released -> ()
+      | _ -> Alcotest.fail "release failed");
+      (match call 3 2 (Lock_service.Holder { lock = "leader-election" }) with
+      | Some (Lock_service.Held_by { client = 2; _ }) -> ()
+      | _ -> Alcotest.fail "hand-off lost across failover");
+      Sim.Host.resume r0.Mu.Replica.host;
+      result := Some true;
+      Mu.Smr.stop smr;
+      Sim.Engine.halt e);
+  Sim.Engine.run ~until:120_000_000_000 e;
+  check "completed" true (!result = Some true)
+
+(* --- persistent log (the paper's anticipated extension) --------------------- *)
+
+let persistent_log_costs_flush () =
+  let base =
+    Workload.Experiments.mu_latency_persistence
+      { Workload.Experiments.default_setup with seed = 5L }
+      ~samples:3_000 ~persistent:false
+  in
+  let durable =
+    Workload.Experiments.mu_latency_persistence
+      { Workload.Experiments.default_setup with seed = 5L }
+      ~samples:3_000 ~persistent:true
+  in
+  let b = Sim.Stats.Samples.median base and d = Sim.Stats.Samples.median durable in
+  check
+    (Printf.sprintf "durable costs one flush (%d vs %d ns)" b d)
+    true
+    (d > b + 200 && d < b + 1_500)
+
+let persistent_cluster_correct () =
+  let cfg = { Mu.Config.default with Mu.Config.persistent_log = true } in
+  let e = Util.engine () in
+  let smr =
+    Mu.Smr.create e Util.default_cal cfg ~make_app:(fun _ -> Mu.Smr.stateless_app Fun.id)
+  in
+  Mu.Smr.start smr;
+  Sim.Engine.spawn e ~name:"driver" (fun () ->
+      Mu.Smr.wait_live smr;
+      for i = 1 to 10 do
+        ignore (Mu.Smr.submit smr (Bytes.of_string (string_of_int i)))
+      done;
+      Sim.Engine.sleep e 2_000_000;
+      Alcotest.(check (list string))
+        "invariants hold" []
+        (List.map
+           (Fmt.str "%a" Mu.Invariants.pp_violation)
+           (Mu.Invariants.check_all (Mu.Smr.replicas smr)));
+      Mu.Smr.stop smr;
+      Sim.Engine.halt e);
+  Sim.Engine.run ~until:120_000_000_000 e
+
+let suite =
+  [
+    ("free lock granted", `Quick, free_lock_granted);
+    ("reacquire idempotent", `Quick, reacquire_is_idempotent);
+    ("contenders queue fifo", `Quick, contender_queues_fifo);
+    ("fences strictly increase", `Quick, fences_strictly_increase);
+    ("release by non-holder rejected", `Quick, release_by_non_holder_rejected);
+    ("holder query", `Quick, holder_query);
+    ("independent locks", `Quick, independent_locks);
+    ("codec roundtrip", `Quick, codec_roundtrip);
+    ("snapshot/restore", `Quick, snapshot_restore);
+    ("replicated lock service failover", `Quick, replicated_lock_service_failover);
+    ("persistent log costs flush", `Quick, persistent_log_costs_flush);
+    ("persistent cluster correct", `Quick, persistent_cluster_correct);
+  ]

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "mu"
+    [
+      ("sim", Test_sim.suite);
+      ("rdma", Test_rdma.suite);
+      ("rdma-layers", Test_rdma_layers.suite);
+      ("log", Test_log.suite);
+      ("election", Test_election.suite);
+      ("permissions", Test_permissions.suite);
+      ("replication", Test_replication.suite);
+      ("smr", Test_smr.suite);
+      ("membership", Test_membership.suite);
+      ("order-book", Test_order_book.suite);
+      ("apps", Test_apps.suite);
+      ("lock-service", Test_lock_service.suite);
+      ("herd", Test_herd.suite);
+      ("baselines", Test_baselines.suite);
+      ("dare-election", Test_dare_election.suite);
+      ("workload", Test_workload.suite);
+      ("replayer-recycler", Test_replayer.suite);
+      ("invariants", Test_invariants.suite);
+      ("misc", Test_misc.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,100 @@
+(* Tests for membership changes (§5.4): removing and adding replicas via
+   configuration entries and checkpoint transfer. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_smr ?(make_app = fun _ -> Apps.Kv_store.smr_app ()) f =
+  let e = Util.engine () in
+  let smr = Mu.Smr.create e Util.default_cal Mu.Config.default ~make_app in
+  Mu.Smr.start smr;
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"driver" (fun () ->
+      result := Some (f e smr);
+      Mu.Smr.stop smr;
+      Sim.Engine.halt e);
+  Sim.Engine.run ~until:120_000_000_000 e;
+  match !result with Some r -> r | None -> Alcotest.fail "scenario did not finish"
+
+let put smr k v i =
+  ignore
+    (Mu.Smr.submit smr
+       (Apps.Kv_store.encode_command ~client:1 ~req_id:i
+          (Apps.Kv_store.Put { key = k; value = v })))
+
+let get smr k i =
+  match
+    Apps.Kv_store.decode_reply
+      (Mu.Smr.submit smr
+         (Apps.Kv_store.encode_command ~client:1 ~req_id:i (Apps.Kv_store.Get { key = k })))
+  with
+  | Some (Apps.Kv_store.Value v) -> Some v
+  | _ -> None
+
+let remove_follower () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      put smr "a" "1" 1;
+      Mu.Smr.remove_replica smr ~id:2;
+      let r2 = Mu.Smr.replica smr 2 in
+      Util.wait_for (fun () -> r2.Mu.Replica.removed) e;
+      check "r2 stopped" true r2.Mu.Replica.stop;
+      (* The survivors keep working as a 2-group. *)
+      put smr "b" "2" 2;
+      Alcotest.(check (option string)) "state intact" (Some "2") (get smr "b" 3);
+      let r0 = Mu.Smr.replica smr 0 in
+      check_int "r0 now has one peer" 1 (List.length r0.Mu.Replica.peers))
+
+let removed_replica_ignored_by_election () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      Mu.Smr.remove_replica smr ~id:2;
+      let r2 = Mu.Smr.replica smr 2 in
+      Util.wait_for (fun () -> r2.Mu.Replica.removed) e;
+      Sim.Engine.sleep e 3_000_000;
+      let r0 = Mu.Smr.replica smr 0 in
+      check "r0 still leads" true (Mu.Replica.is_leader r0);
+      check "r2 not in alive table" true (not (Hashtbl.mem r0.Mu.Replica.alive 2)))
+
+let add_replica_receives_state () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      for i = 1 to 5 do
+        put smr (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i) i
+      done;
+      let newcomer = Mu.Smr.add_replica smr () in
+      check_int "new id" 3 newcomer.Mu.Replica.id;
+      (* New writes replicate to the newcomer too. *)
+      put smr "after" "join" 6;
+      put smr "after2" "join2" 7;
+      Util.wait_for
+        (fun () ->
+          match Mu.Log.read_slot newcomer.Mu.Replica.log (Mu.Log.fuo newcomer.Mu.Replica.log) with
+          | Some _ -> true
+          | None -> newcomer.Mu.Replica.applied > 5)
+        e;
+      Sim.Engine.sleep e 3_000_000;
+      check "newcomer applying" true (newcomer.Mu.Replica.applied > 0);
+      ignore e)
+
+let add_then_remove_leader_failover () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      put smr "x" "1" 1;
+      let _newcomer = Mu.Smr.add_replica smr () in
+      put smr "y" "2" 2;
+      (* Now kill the leader; the 4-group must elect replica 1 and keep
+         serving. *)
+      let r0 = Mu.Smr.replica smr 0 in
+      Sim.Host.pause r0.Mu.Replica.host;
+      Alcotest.(check (option string)) "served after failover" (Some "2") (get smr "y" 3);
+      Sim.Host.resume r0.Mu.Replica.host;
+      ignore e)
+
+let suite =
+  [
+    ("remove follower", `Quick, remove_follower);
+    ("removed replica ignored by election", `Quick, removed_replica_ignored_by_election);
+    ("add replica receives state", `Quick, add_replica_receives_state);
+    ("add then remove leader failover", `Quick, add_then_remove_leader_failover);
+  ]

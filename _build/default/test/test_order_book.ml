@@ -1,0 +1,235 @@
+(* Tests for the limit order book (the Liquibook-equivalent matching
+   engine): price-time priority, partial fills, market orders, cancels,
+   replaces, conservation invariants, and checkpointing. *)
+
+open Apps
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let has_fill ~taker ~maker ~price ~qty events =
+  List.exists
+    (function
+      | Order_book.Filled f ->
+        f.taker = taker && f.maker = maker && f.price = price && f.qty = qty
+      | _ -> false)
+    events
+
+let resting_order_accepted () =
+  let b = Order_book.create () in
+  let ev = Order_book.submit_limit b ~id:1 ~side:Order_book.Buy ~price:100 ~qty:10 in
+  check "accepted" true (List.mem (Order_book.Accepted { id = 1 }) ev);
+  Alcotest.(check (option (pair int int))) "best bid" (Some (100, 10)) (Order_book.best_bid b);
+  Alcotest.(check (option (pair int int))) "no ask" None (Order_book.best_ask b)
+
+let cross_full_fill () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:100 ~qty:10);
+  let ev = Order_book.submit_limit b ~id:2 ~side:Order_book.Buy ~price:100 ~qty:10 in
+  check "fill at 100x10" true (has_fill ~taker:2 ~maker:1 ~price:100 ~qty:10 ev);
+  check "maker done" true (List.mem (Order_book.Done { id = 1 }) ev);
+  check "taker done" true (List.mem (Order_book.Done { id = 2 }) ev);
+  check_int "book empty" 0 (Order_book.open_order_count b)
+
+let no_cross_when_prices_apart () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:101 ~qty:5);
+  let ev = Order_book.submit_limit b ~id:2 ~side:Order_book.Buy ~price:99 ~qty:5 in
+  check "no fills" true
+    (List.for_all (function Order_book.Filled _ -> false | _ -> true) ev);
+  check_int "both resting" 2 (Order_book.open_order_count b)
+
+let partial_fill_rests_remainder () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:100 ~qty:4);
+  let ev = Order_book.submit_limit b ~id:2 ~side:Order_book.Buy ~price:100 ~qty:10 in
+  check "partial fill" true (has_fill ~taker:2 ~maker:1 ~price:100 ~qty:4 ev);
+  check "remainder accepted" true (List.mem (Order_book.Accepted { id = 2 }) ev);
+  Alcotest.(check (option (pair int int))) "6 left bid" (Some (100, 6)) (Order_book.best_bid b)
+
+let price_priority () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:102 ~qty:5);
+  ignore (Order_book.submit_limit b ~id:2 ~side:Order_book.Sell ~price:100 ~qty:5);
+  ignore (Order_book.submit_limit b ~id:3 ~side:Order_book.Sell ~price:101 ~qty:5);
+  let ev = Order_book.submit_limit b ~id:4 ~side:Order_book.Buy ~price:103 ~qty:12 in
+  (* Fills walk the ask side best-first: 100, 101, then 2 of 102. *)
+  check "fills 100 first" true (has_fill ~taker:4 ~maker:2 ~price:100 ~qty:5 ev);
+  check "then 101" true (has_fill ~taker:4 ~maker:3 ~price:101 ~qty:5 ev);
+  check "then 102 partially" true (has_fill ~taker:4 ~maker:1 ~price:102 ~qty:2 ev);
+  Alcotest.(check (option (pair int int))) "3 left at 102" (Some (102, 3)) (Order_book.best_ask b)
+
+let time_priority_fifo () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:100 ~qty:5);
+  ignore (Order_book.submit_limit b ~id:2 ~side:Order_book.Sell ~price:100 ~qty:5);
+  let ev = Order_book.submit_limit b ~id:3 ~side:Order_book.Buy ~price:100 ~qty:5 in
+  check "first in first matched" true (has_fill ~taker:3 ~maker:1 ~price:100 ~qty:5 ev);
+  check "second untouched" true
+    (List.for_all
+       (function Order_book.Filled f -> f.maker <> 2 | _ -> true)
+       ev)
+
+let taker_gets_maker_price () =
+  (* An aggressive buy above the ask trades at the ask (maker) price. *)
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:100 ~qty:5);
+  let ev = Order_book.submit_limit b ~id:2 ~side:Order_book.Buy ~price:105 ~qty:5 in
+  check "maker price" true (has_fill ~taker:2 ~maker:1 ~price:100 ~qty:5 ev)
+
+let market_order_fills_and_never_rests () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:100 ~qty:3);
+  let ev = Order_book.submit_market b ~id:2 ~side:Order_book.Buy ~qty:10 in
+  check "filled what was there" true (has_fill ~taker:2 ~maker:1 ~price:100 ~qty:3 ev);
+  check "remainder cancelled (IOC)" true
+    (List.mem (Order_book.Cancelled { id = 2; remaining = 7 }) ev);
+  check_int "nothing rests" 0 (Order_book.open_order_count b)
+
+let market_order_empty_book_rejected () =
+  let b = Order_book.create () in
+  let ev = Order_book.submit_market b ~id:1 ~side:Order_book.Sell ~qty:5 in
+  check "rejected" true
+    (List.exists (function Order_book.Rejected _ -> true | _ -> false) ev)
+
+let cancel_removes_order () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Buy ~price:100 ~qty:10);
+  let ev = Order_book.cancel b ~id:1 in
+  check "cancelled with remaining" true
+    (List.mem (Order_book.Cancelled { id = 1; remaining = 10 }) ev);
+  check_int "book empty" 0 (Order_book.open_order_count b);
+  Alcotest.(check (option (pair int int))) "no bid" None (Order_book.best_bid b)
+
+let cancel_unknown_rejected () =
+  let b = Order_book.create () in
+  let ev = Order_book.cancel b ~id:99 in
+  check "rejected" true
+    (List.exists (function Order_book.Rejected _ -> true | _ -> false) ev)
+
+let duplicate_id_rejected () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Buy ~price:100 ~qty:10);
+  let ev = Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:200 ~qty:1 in
+  check "rejected" true
+    (List.exists (function Order_book.Rejected _ -> true | _ -> false) ev);
+  check_int "book unchanged" 1 (Order_book.open_order_count b)
+
+let replace_size_decrease_keeps_priority () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:100 ~qty:10);
+  ignore (Order_book.submit_limit b ~id:2 ~side:Order_book.Sell ~price:100 ~qty:10);
+  ignore (Order_book.replace b ~id:1 ~price:None ~qty:5);
+  let ev = Order_book.submit_limit b ~id:3 ~side:Order_book.Buy ~price:100 ~qty:5 in
+  check "order 1 kept time priority" true (has_fill ~taker:3 ~maker:1 ~price:100 ~qty:5 ev)
+
+let replace_size_increase_loses_priority () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:100 ~qty:5);
+  ignore (Order_book.submit_limit b ~id:2 ~side:Order_book.Sell ~price:100 ~qty:5);
+  ignore (Order_book.replace b ~id:1 ~price:None ~qty:10);
+  let ev = Order_book.submit_limit b ~id:3 ~side:Order_book.Buy ~price:100 ~qty:5 in
+  check "order 2 now first" true (has_fill ~taker:3 ~maker:2 ~price:100 ~qty:5 ev)
+
+let replace_price_can_match () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Sell ~price:105 ~qty:5);
+  ignore (Order_book.submit_limit b ~id:2 ~side:Order_book.Buy ~price:100 ~qty:5);
+  let ev = Order_book.replace b ~id:1 ~price:(Some 100) ~qty:5 in
+  check "re-priced order matched" true (has_fill ~taker:1 ~maker:2 ~price:100 ~qty:5 ev);
+  check_int "book empty" 0 (Order_book.open_order_count b)
+
+let depth_reports_levels () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Buy ~price:99 ~qty:1);
+  ignore (Order_book.submit_limit b ~id:2 ~side:Order_book.Buy ~price:100 ~qty:2);
+  ignore (Order_book.submit_limit b ~id:3 ~side:Order_book.Buy ~price:98 ~qty:3);
+  ignore (Order_book.submit_limit b ~id:4 ~side:Order_book.Buy ~price:100 ~qty:4);
+  Alcotest.(check (list (pair int int)))
+    "best-first with aggregation"
+    [ (100, 6); (99, 1) ]
+    (Order_book.depth b Order_book.Buy ~levels:2)
+
+let conservation_random_flow () =
+  (* Property: submitted = open + traded + cancelled quantities. *)
+  let rng = Sim.Rng.create 77L in
+  let b = Order_book.create () in
+  let submitted = ref 0 and cancelled = ref 0 and ioc_cancelled = ref 0 in
+  let live_ids = ref [] in
+  for id = 1 to 2_000 do
+    let r = Sim.Rng.float rng in
+    if r < 0.75 then begin
+      let side = if Sim.Rng.bool rng then Order_book.Buy else Order_book.Sell in
+      let qty = 1 + Sim.Rng.int rng 20 in
+      let price = 95 + Sim.Rng.int rng 10 in
+      submitted := !submitted + qty;
+      let ev = Order_book.submit_limit b ~id ~side ~price ~qty in
+      if List.mem (Order_book.Accepted { id }) ev then live_ids := id :: !live_ids
+    end
+    else if r < 0.9 && !live_ids <> [] then begin
+      match !live_ids with
+      | id' :: rest ->
+        live_ids := rest;
+        List.iter
+          (function
+            | Order_book.Cancelled { remaining; _ } -> cancelled := !cancelled + remaining
+            | _ -> ())
+          (Order_book.cancel b ~id:id')
+      | [] -> ()
+    end
+    else begin
+      let side = if Sim.Rng.bool rng then Order_book.Buy else Order_book.Sell in
+      let qty = 1 + Sim.Rng.int rng 10 in
+      submitted := !submitted + qty;
+      List.iter
+        (function
+          | Order_book.Cancelled { remaining; _ } -> ioc_cancelled := !ioc_cancelled + remaining
+          | Order_book.Rejected _ -> ioc_cancelled := !ioc_cancelled + qty
+          | _ -> ())
+        (Order_book.submit_market b ~id ~side ~qty)
+    end
+  done;
+  let open_qty = Order_book.open_qty b Order_book.Buy + Order_book.open_qty b Order_book.Sell in
+  let traded = 2 * Order_book.volume_traded b in
+  check_int "conservation" !submitted (open_qty + traded + !cancelled + !ioc_cancelled);
+  (* The book never crosses itself. *)
+  (match Order_book.best_bid b, Order_book.best_ask b with
+  | Some (bid, _), Some (ask, _) -> check "bid < ask" true (bid < ask)
+  | _ -> ())
+
+let snapshot_restore_roundtrip () =
+  let b = Order_book.create () in
+  ignore (Order_book.submit_limit b ~id:1 ~side:Order_book.Buy ~price:99 ~qty:10);
+  ignore (Order_book.submit_limit b ~id:2 ~side:Order_book.Sell ~price:101 ~qty:7);
+  ignore (Order_book.submit_limit b ~id:3 ~side:Order_book.Buy ~price:99 ~qty:3);
+  ignore (Order_book.submit_limit b ~id:4 ~side:Order_book.Buy ~price:100 ~qty:1);
+  let b' = Order_book.restore (Order_book.snapshot b) in
+  Alcotest.(check (option (pair int int))) "bid" (Order_book.best_bid b) (Order_book.best_bid b');
+  Alcotest.(check (option (pair int int))) "ask" (Order_book.best_ask b) (Order_book.best_ask b');
+  check_int "orders" (Order_book.open_order_count b) (Order_book.open_order_count b');
+  check_int "trades counter" (Order_book.trades_executed b) (Order_book.trades_executed b');
+  (* Restored book behaves identically. *)
+  let ev = Order_book.submit_limit b' ~id:5 ~side:Order_book.Sell ~price:99 ~qty:12 in
+  check "fifo after restore: id1 first at 99" true (has_fill ~taker:5 ~maker:1 ~price:99 ~qty:10 ev)
+
+let suite =
+  [
+    ("resting order accepted", `Quick, resting_order_accepted);
+    ("cross full fill", `Quick, cross_full_fill);
+    ("no cross when prices apart", `Quick, no_cross_when_prices_apart);
+    ("partial fill rests remainder", `Quick, partial_fill_rests_remainder);
+    ("price priority", `Quick, price_priority);
+    ("time priority fifo", `Quick, time_priority_fifo);
+    ("taker gets maker price", `Quick, taker_gets_maker_price);
+    ("market order fills, never rests", `Quick, market_order_fills_and_never_rests);
+    ("market order on empty book rejected", `Quick, market_order_empty_book_rejected);
+    ("cancel removes order", `Quick, cancel_removes_order);
+    ("cancel unknown rejected", `Quick, cancel_unknown_rejected);
+    ("duplicate id rejected", `Quick, duplicate_id_rejected);
+    ("replace: size decrease keeps priority", `Quick, replace_size_decrease_keeps_priority);
+    ("replace: size increase loses priority", `Quick, replace_size_increase_loses_priority);
+    ("replace: price change can match", `Quick, replace_price_can_match);
+    ("depth reports levels", `Quick, depth_reports_levels);
+    ("conservation under random flow", `Quick, conservation_random_flow);
+    ("snapshot/restore roundtrip", `Quick, snapshot_restore_roundtrip);
+  ]

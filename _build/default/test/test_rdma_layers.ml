@@ -1,0 +1,155 @@
+(* Tests for the reusable RDMA layers of §6: the QP exchange (connection
+   bootstrap + region directory) and the quorum write helper. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Exchange --------------------------------------------------------------- *)
+
+let exchange_dial_connects () =
+  Util.run_fiber (fun e ->
+      let x = Rdma.Exchange.create e in
+      let a = Util.host e ~id:0 and b = Util.host e ~id:1 in
+      Rdma.Exchange.listen x ~host:b ~service:"log"
+        ~make_cq:(fun () -> Rdma.Cq.create e)
+        ~access:Rdma.Verbs.access_rw ();
+      let mr_b = Rdma.Mr.register b ~size:64 ~access:Rdma.Verbs.access_rw in
+      Rdma.Exchange.advertise x ~host:b ~name:"log-mr" mr_b;
+      let cq_a = Rdma.Cq.create e in
+      let qp = Rdma.Exchange.dial x ~host:a ~peer:"h1" ~service:"log" ~cq:cq_a () in
+      check "connected" true (Rdma.Qp.state qp = Rdma.Verbs.Rts);
+      (* Use the advertised region handle exactly like an exchanged rkey. *)
+      let remote = Rdma.Exchange.lookup x ~peer:"h1" ~name:"log-mr" in
+      Rdma.Qp.post_write qp ~wr_id:1 ~src:(Bytes.of_string "via-exch") ~src_off:0 ~len:8
+        ~mr:remote ~dst_off:0;
+      Alcotest.check Util.check_status "write lands" Rdma.Verbs.Success
+        (Rdma.Cq.await cq_a).Rdma.Verbs.status;
+      Alcotest.(check string) "data" "via-exch"
+        (Bytes.to_string (Rdma.Mr.get_bytes mr_b ~off:0 ~len:8)))
+
+let exchange_tracks_accepted () =
+  let e = Util.engine () in
+  let x = Rdma.Exchange.create e in
+  let srv = Util.host e ~id:0 in
+  Rdma.Exchange.listen x ~host:srv ~service:"svc" ~make_cq:(fun () -> Rdma.Cq.create e) ();
+  for i = 1 to 3 do
+    let h = Util.host e ~id:i in
+    ignore (Rdma.Exchange.dial x ~host:h ~peer:"h0" ~service:"svc" ~cq:(Rdma.Cq.create e) ())
+  done;
+  let acc = Rdma.Exchange.accepted x ~host:srv ~service:"svc" in
+  check_int "three accepted" 3 (List.length acc);
+  Alcotest.(check (list string)) "dialer names" [ "h3"; "h2"; "h1" ] (List.map fst acc)
+
+let exchange_rejects_duplicate_listener () =
+  let e = Util.engine () in
+  let x = Rdma.Exchange.create e in
+  let h = Util.host e ~id:0 in
+  Rdma.Exchange.listen x ~host:h ~service:"s" ~make_cq:(fun () -> Rdma.Cq.create e) ();
+  check "raises" true
+    (try
+       Rdma.Exchange.listen x ~host:h ~service:"s" ~make_cq:(fun () -> Rdma.Cq.create e) ();
+       false
+     with Invalid_argument _ -> true)
+
+let exchange_unknown_service () =
+  let e = Util.engine () in
+  let x = Rdma.Exchange.create e in
+  let h = Util.host e ~id:0 in
+  check "raises Not_found" true
+    (try
+       ignore (Rdma.Exchange.dial x ~host:h ~peer:"nobody" ~service:"s" ~cq:(Rdma.Cq.create e) ());
+       false
+     with Not_found -> true)
+
+(* --- Quorum ------------------------------------------------------------------ *)
+
+(* Three hosts: h0 writes to h1 and h2 through one shared CQ. *)
+let quorum_rig e =
+  let h0 = Util.host e ~id:0 and h1 = Util.host e ~id:1 and h2 = Util.host e ~id:2 in
+  let cq0 = Rdma.Cq.create e in
+  let mk peer =
+    let q0 = Rdma.Qp.create h0 ~cq:cq0 in
+    let qp = Rdma.Qp.create peer ~cq:(Rdma.Cq.create e) in
+    Rdma.Qp.connect q0 qp;
+    Rdma.Qp.set_access qp Rdma.Verbs.access_rw;
+    let mr = Rdma.Mr.register peer ~size:64 ~access:Rdma.Verbs.access_rw in
+    (q0, qp, mr)
+  in
+  (h0, cq0, mk h1, mk h2)
+
+let quorum_majority_returns_early () =
+  Util.run_fiber (fun e ->
+      let _h0, cq0, (q1, _, mr1), (q2, _, mr2) = quorum_rig e in
+      let q = Rdma.Quorum.create cq0 in
+      let data = Bytes.make 8 'q' in
+      let t0 = Sim.Engine.now e in
+      let r =
+        Rdma.Quorum.post_and_wait q ~needed:1
+          ~post:
+            [
+              (fun ~wr_id ->
+                Rdma.Qp.post_write q1 ~wr_id ~src:data ~src_off:0 ~len:8 ~mr:mr1 ~dst_off:0);
+              (fun ~wr_id ->
+                Rdma.Qp.post_write q2 ~wr_id ~src:data ~src_off:0 ~len:8 ~mr:mr2 ~dst_off:0);
+            ]
+      in
+      let dt = Sim.Engine.now e - t0 in
+      check_int "one success suffices" 1 (List.length r.Rdma.Quorum.succeeded);
+      check_int "one still pending" 1 r.Rdma.Quorum.pending;
+      check "returned at first completion" true (dt < 2_500);
+      (* The straggler is absorbed by the next round, not miscounted. *)
+      let r2 =
+        Rdma.Quorum.post_and_wait q ~needed:2
+          ~post:
+            [
+              (fun ~wr_id ->
+                Rdma.Qp.post_write q1 ~wr_id ~src:data ~src_off:0 ~len:8 ~mr:mr1 ~dst_off:0);
+              (fun ~wr_id ->
+                Rdma.Qp.post_write q2 ~wr_id ~src:data ~src_off:0 ~len:8 ~mr:mr2 ~dst_off:0);
+            ]
+      in
+      check_int "both of round 2" 2 (List.length r2.Rdma.Quorum.succeeded);
+      Rdma.Quorum.drain q)
+
+let quorum_error_raises () =
+  Util.run_fiber (fun e ->
+      let _h0, cq0, (q1, _, mr1), (q2, qp2, mr2) = quorum_rig e in
+      Rdma.Qp.set_access qp2 Rdma.Verbs.access_ro;
+      let q = Rdma.Quorum.create cq0 in
+      let data = Bytes.make 8 'x' in
+      check "error surfaces" true
+        (try
+           ignore
+             (Rdma.Quorum.post_and_wait q ~needed:2
+                ~post:
+                  [
+                    (fun ~wr_id ->
+                      Rdma.Qp.post_write q1 ~wr_id ~src:data ~src_off:0 ~len:8 ~mr:mr1
+                        ~dst_off:0);
+                    (fun ~wr_id ->
+                      Rdma.Qp.post_write q2 ~wr_id ~src:data ~src_off:0 ~len:8 ~mr:mr2
+                        ~dst_off:0);
+                  ]);
+           false
+         with Rdma.Quorum.Operation_failed { index = 1; _ } -> true))
+
+let quorum_needed_validation () =
+  Util.run_fiber (fun e ->
+      let _h0, cq0, _, _ = quorum_rig e in
+      let q = Rdma.Quorum.create cq0 in
+      check "raises" true
+        (try
+           ignore (Rdma.Quorum.post_and_wait q ~needed:1 ~post:[]);
+           false
+         with Invalid_argument _ -> true))
+
+let suite =
+  [
+    ("exchange: dial connects and advertises", `Quick, exchange_dial_connects);
+    ("exchange: tracks accepted", `Quick, exchange_tracks_accepted);
+    ("exchange: rejects duplicate listener", `Quick, exchange_rejects_duplicate_listener);
+    ("exchange: unknown service", `Quick, exchange_unknown_service);
+    ("quorum: majority returns early", `Quick, quorum_majority_returns_early);
+    ("quorum: error raises", `Quick, quorum_error_raises);
+    ("quorum: needed validation", `Quick, quorum_needed_validation);
+  ]

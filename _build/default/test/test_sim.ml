@@ -1,0 +1,487 @@
+(* Tests for the simulation substrate: PRNG, distributions, statistics,
+   event heap, engine/fibers, hosts. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let rng_deterministic () =
+  let a = Sim.Rng.create 42L and b = Sim.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Sim.Rng.create 1L and b = Sim.Rng.create 2L in
+  check "different seeds differ" true (Sim.Rng.int64 a <> Sim.Rng.int64 b)
+
+let rng_float_range () =
+  let r = Sim.Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let f = Sim.Rng.float r in
+    check "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let rng_int_range () =
+  let r = Sim.Rng.create 4L in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int r 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done
+
+let rng_int_rejects_bad_bound () =
+  let r = Sim.Rng.create 5L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int r 0))
+
+let rng_split_independent () =
+  (* Draws from the parent after the split must not perturb the child. *)
+  let parent = Sim.Rng.create 6L in
+  let child = Sim.Rng.split parent in
+  let c1 = Sim.Rng.int64 child in
+  let parent2 = Sim.Rng.create 6L in
+  let child2 = Sim.Rng.split parent2 in
+  for _ = 1 to 10 do
+    ignore (Sim.Rng.int64 parent2)
+  done;
+  Alcotest.(check int64) "child stream stable" c1 (Sim.Rng.int64 child2)
+
+let rng_gaussian_moments () =
+  let r = Sim.Rng.create 7L in
+  let s = Sim.Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Sim.Stats.Summary.add s (Sim.Rng.gaussian r)
+  done;
+  check "mean near 0" true (abs_float (Sim.Stats.Summary.mean s) < 0.02);
+  check "std near 1" true (abs_float (Sim.Stats.Summary.stddev s -. 1.0) < 0.02)
+
+let rng_exponential_mean () =
+  let r = Sim.Rng.create 8L in
+  let s = Sim.Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Sim.Stats.Summary.add s (Sim.Rng.exponential r ~mean:250.0)
+  done;
+  check "mean near 250" true (abs_float (Sim.Stats.Summary.mean s -. 250.0) < 10.0)
+
+(* --- Distribution ------------------------------------------------------- *)
+
+let dist_sampling_matches_mean () =
+  let r = Sim.Rng.create 9L in
+  let cases =
+    [
+      Sim.Distribution.Constant 100.0;
+      Sim.Distribution.Uniform { lo = 50.0; hi = 150.0 };
+      Sim.Distribution.Normal { mean = 100.0; std = 10.0 };
+      Sim.Distribution.Exponential { mean = 100.0 };
+      Sim.Distribution.Lognormal { median = 90.0; sigma = 0.4 };
+      Sim.Distribution.Shifted { base = 40.0; jitter = Constant 60.0 };
+      Sim.Distribution.Mixture [ (1.0, Constant 50.0); (1.0, Constant 150.0) ];
+    ]
+  in
+  List.iter
+    (fun d ->
+      let s = Sim.Stats.Summary.create () in
+      for _ = 1 to 50_000 do
+        Sim.Stats.Summary.add s (Sim.Distribution.sample d r)
+      done;
+      let expect = Sim.Distribution.mean d in
+      let got = Sim.Stats.Summary.mean s in
+      check
+        (Fmt.str "mean of %a: %.1f vs %.1f" Sim.Distribution.pp d got expect)
+        true
+        (abs_float (got -. expect) /. expect < 0.05))
+    cases
+
+let dist_nonnegative () =
+  let r = Sim.Rng.create 10L in
+  let d = Sim.Distribution.Normal { mean = 10.0; std = 100.0 } in
+  for _ = 1 to 10_000 do
+    check "clamped at 0" true (Sim.Distribution.sample d r >= 0.0)
+  done
+
+let dist_pareto_minimum () =
+  let r = Sim.Rng.create 11L in
+  let d = Sim.Distribution.Pareto { scale = 70.0; shape = 2.5 } in
+  for _ = 1 to 10_000 do
+    check "above scale" true (Sim.Distribution.sample d r >= 70.0)
+  done
+
+let dist_sample_ns_rounds () =
+  let r = Sim.Rng.create 12L in
+  check_int "constant rounds" 100
+    (Sim.Distribution.sample_ns (Sim.Distribution.Constant 100.4) r)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let stats_summary () =
+  let s = Sim.Stats.Summary.create () in
+  List.iter (fun x -> Sim.Stats.Summary.add s x) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Sim.Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Sim.Stats.Summary.mean s);
+  Alcotest.(check (float 1e-4)) "stddev" 1.2909944 (Sim.Stats.Summary.stddev s);
+  Alcotest.(check (float 0.0)) "min" 1.0 (Sim.Stats.Summary.min s);
+  Alcotest.(check (float 0.0)) "max" 4.0 (Sim.Stats.Summary.max s)
+
+let stats_percentiles () =
+  let s = Sim.Stats.Samples.create () in
+  for i = 100 downto 1 do
+    Sim.Stats.Samples.add s i
+  done;
+  check_int "median" 50 (Sim.Stats.Samples.median s);
+  check_int "p1" 1 (Sim.Stats.Samples.percentile s 1.0);
+  check_int "p99" 99 (Sim.Stats.Samples.percentile s 99.0);
+  check_int "p100" 100 (Sim.Stats.Samples.percentile s 100.0);
+  check_int "min" 1 (Sim.Stats.Samples.min s);
+  check_int "max" 100 (Sim.Stats.Samples.max s);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Sim.Stats.Samples.mean s)
+
+let stats_percentile_cache_invalidation () =
+  let s = Sim.Stats.Samples.create () in
+  Sim.Stats.Samples.add s 10;
+  check_int "median of one" 10 (Sim.Stats.Samples.median s);
+  Sim.Stats.Samples.add s 2;
+  Sim.Stats.Samples.add s 1;
+  check_int "median after more adds" 2 (Sim.Stats.Samples.median s)
+
+let stats_empty_percentile_raises () =
+  let s = Sim.Stats.Samples.create () in
+  check "raises" true
+    (try
+       ignore (Sim.Stats.Samples.median s);
+       false
+     with Invalid_argument _ -> true)
+
+let stats_histogram () =
+  let h = Sim.Stats.Histogram.create ~bucket_width:10 in
+  List.iter (fun x -> Sim.Stats.Histogram.add h x) [ 1; 5; 9; 10; 23; 25 ];
+  check_int "total" 6 (Sim.Stats.Histogram.total h);
+  Alcotest.(check (list (pair int int)))
+    "buckets"
+    [ (0, 3); (10, 1); (20, 2) ]
+    (Sim.Stats.Histogram.buckets h)
+
+(* --- Heap ---------------------------------------------------------------- *)
+
+let heap_ordering () =
+  let h = Sim.Heap.create () in
+  let xs = [ (5, 'a'); (1, 'b'); (3, 'c'); (1, 'd'); (4, 'e') ] in
+  List.iteri (fun seq (k, v) -> Sim.Heap.push h ~key:k ~seq v) xs;
+  let popped = List.init 5 (fun _ -> Option.get (Sim.Heap.pop h)) in
+  Alcotest.(check (list char)) "sorted by key then seq" [ 'b'; 'd'; 'c'; 'e'; 'a' ] popped;
+  check "empty after" true (Sim.Heap.is_empty h)
+
+let heap_fifo_within_key () =
+  let h = Sim.Heap.create () in
+  for i = 0 to 99 do
+    Sim.Heap.push h ~key:7 ~seq:i i
+  done;
+  for i = 0 to 99 do
+    check_int "fifo" i (Option.get (Sim.Heap.pop h))
+  done
+
+let heap_interleaved () =
+  let h = Sim.Heap.create () in
+  let r = Sim.Rng.create 13L in
+  let reference = ref [] in
+  let seq = ref 0 in
+  for _ = 1 to 1000 do
+    if Sim.Rng.float r < 0.6 || Sim.Heap.is_empty h then begin
+      let k = Sim.Rng.int r 50 in
+      incr seq;
+      Sim.Heap.push h ~key:k ~seq:!seq (k, !seq);
+      reference := (k, !seq) :: !reference
+    end
+    else begin
+      let k, s = Option.get (Sim.Heap.pop h) in
+      (* must be the minimum of the reference multiset *)
+      let sorted = List.sort compare !reference in
+      Alcotest.(check (pair int int)) "pop is minimum" (List.hd sorted) (k, s);
+      reference := List.filter (fun x -> x <> (k, s)) !reference
+    end
+  done
+
+(* --- Engine --------------------------------------------------------------- *)
+
+let engine_time_advances () =
+  let trace = ref [] in
+  let _e =
+    Util.run_scenario (fun e ->
+        Sim.Engine.schedule e ~at:50 (fun () -> trace := (50, Sim.Engine.now e) :: !trace);
+        Sim.Engine.schedule e ~at:10 (fun () -> trace := (10, Sim.Engine.now e) :: !trace);
+        Sim.Engine.schedule e ~at:30 (fun () -> trace := (30, Sim.Engine.now e) :: !trace))
+  in
+  Alcotest.(check (list (pair int int)))
+    "events in time order at right times"
+    [ (10, 10); (30, 30); (50, 50) ]
+    (List.rev !trace)
+
+let engine_same_time_fifo () =
+  let trace = ref [] in
+  let _e =
+    Util.run_scenario (fun e ->
+        for i = 1 to 5 do
+          Sim.Engine.schedule e ~at:100 (fun () -> trace := i :: !trace)
+        done)
+  in
+  Alcotest.(check (list int)) "FIFO at same instant" [ 1; 2; 3; 4; 5 ] (List.rev !trace)
+
+let engine_until_limit () =
+  let ran = ref false in
+  let e = Util.engine () in
+  Sim.Engine.schedule e ~at:1_000 (fun () -> ran := true);
+  Sim.Engine.run ~until:500 e;
+  check "not yet run" false !ran;
+  check_int "clock at limit" 500 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  check "runs after" true !ran
+
+let engine_sleep () =
+  let t = Util.run_fiber (fun e ->
+      Sim.Engine.sleep e 123;
+      Sim.Engine.sleep e 77;
+      Sim.Engine.now e)
+  in
+  check_int "slept 200" 200 t
+
+let engine_fiber_crash_propagates () =
+  let e = Util.engine () in
+  Sim.Engine.spawn e ~name:"boom" (fun () -> failwith "bang");
+  check "crash surfaces" true
+    (try
+       Sim.Engine.run e;
+       false
+     with Sim.Engine.Fiber_crash ("boom", _) -> true)
+
+let engine_determinism () =
+  let run () =
+    let order = ref [] in
+    let e = Util.engine ~seed:99L () in
+    for i = 1 to 10 do
+      Sim.Engine.spawn e ~name:"f" (fun () ->
+          Sim.Engine.sleep e (Sim.Rng.int (Sim.Engine.rng e) 100);
+          order := i :: !order)
+    done;
+    Sim.Engine.run e;
+    !order
+  in
+  Alcotest.(check (list int)) "identical schedules" (run ()) (run ())
+
+let ivar_basics () =
+  Util.run_fiber (fun e ->
+      let iv = Sim.Engine.Ivar.create e in
+      check "empty" false (Sim.Engine.Ivar.is_filled iv);
+      Sim.Engine.Ivar.fill iv 42;
+      check_int "read full" 42 (Sim.Engine.Ivar.read iv);
+      check "try_fill on full" false (Sim.Engine.Ivar.try_fill iv 43);
+      check_int "peek" 42 (Option.get (Sim.Engine.Ivar.peek iv)))
+
+let ivar_blocks_until_filled () =
+  let woken_at =
+    Util.run_fiber (fun e ->
+        let iv = Sim.Engine.Ivar.create e in
+        Sim.Engine.spawn e ~name:"filler" (fun () ->
+            Sim.Engine.sleep e 500;
+            Sim.Engine.Ivar.fill iv "hello");
+        let v = Sim.Engine.Ivar.read iv in
+        Alcotest.(check string) "value" "hello" v;
+        Sim.Engine.now e)
+  in
+  check_int "woke at fill time" 500 woken_at
+
+let ivar_multiple_readers () =
+  let count = ref 0 in
+  let _e =
+    Util.run_scenario (fun e ->
+        let iv = Sim.Engine.Ivar.create e in
+        for _ = 1 to 5 do
+          Sim.Engine.spawn e ~name:"reader" (fun () ->
+              ignore (Sim.Engine.Ivar.read iv);
+              incr count)
+        done;
+        Sim.Engine.spawn e ~name:"filler" (fun () ->
+            Sim.Engine.sleep e 10;
+            Sim.Engine.Ivar.fill iv ()))
+  in
+  check_int "all woken" 5 !count
+
+let chan_fifo () =
+  Util.run_fiber (fun e ->
+      let c = Sim.Engine.Chan.create e in
+      List.iter (Sim.Engine.Chan.send c) [ 1; 2; 3 ];
+      check_int "1" 1 (Sim.Engine.Chan.recv c);
+      check_int "2" 2 (Sim.Engine.Chan.recv c);
+      check_int "3" 3 (Sim.Engine.Chan.recv c))
+
+let chan_timeout_expires () =
+  Util.run_fiber (fun e ->
+      let c : int Sim.Engine.Chan.chan = Sim.Engine.Chan.create e in
+      let t0 = Sim.Engine.now e in
+      (match Sim.Engine.Chan.recv_timeout c 250 with
+      | None -> ()
+      | Some _ -> Alcotest.fail "unexpected value");
+      check_int "waited full timeout" 250 (Sim.Engine.now e - t0))
+
+let chan_timeout_receives () =
+  Util.run_fiber (fun e ->
+      let c = Sim.Engine.Chan.create e in
+      Sim.Engine.spawn e ~name:"sender" (fun () ->
+          Sim.Engine.sleep e 100;
+          Sim.Engine.Chan.send c 7);
+      match Sim.Engine.Chan.recv_timeout c 1_000 with
+      | Some 7 -> check_int "at send time" 100 (Sim.Engine.now e)
+      | Some _ | None -> Alcotest.fail "expected 7")
+
+let chan_timeout_no_double_delivery () =
+  (* A value arriving just before the timer must not be dropped or doubled. *)
+  Util.run_fiber (fun e ->
+      let c = Sim.Engine.Chan.create e in
+      Sim.Engine.spawn e ~name:"sender" (fun () ->
+          Sim.Engine.sleep e 99;
+          Sim.Engine.Chan.send c 1;
+          Sim.Engine.Chan.send c 2);
+      (match Sim.Engine.Chan.recv_timeout c 100 with
+      | Some 1 -> ()
+      | Some v -> Alcotest.fail (Printf.sprintf "got %d" v)
+      | None -> Alcotest.fail "timed out despite earlier send");
+      Sim.Engine.sleep e 1_000;
+      check_int "second value intact" 2 (Sim.Engine.Chan.recv c))
+
+let chan_timeout_boundary_keeps_value () =
+  (* When the timeout fires first at the exact deadline, the racing value
+     must stay queued for the next receiver rather than vanish. *)
+  Util.run_fiber (fun e ->
+      let c = Sim.Engine.Chan.create e in
+      Sim.Engine.spawn e ~name:"sender" (fun () ->
+          Sim.Engine.sleep e 100;
+          Sim.Engine.Chan.send c 1);
+      (match Sim.Engine.Chan.recv_timeout c 100 with
+      | None -> ()
+      | Some _ -> Alcotest.fail "timer scheduled first must win the tie");
+      check_int "value preserved" 1 (Sim.Engine.Chan.recv c))
+
+let chan_poll () =
+  Util.run_fiber (fun e ->
+      let c = Sim.Engine.Chan.create e in
+      check "poll empty" true (Sim.Engine.Chan.poll c = None);
+      Sim.Engine.Chan.send c 9;
+      check "poll full" true (Sim.Engine.Chan.poll c = Some 9))
+
+(* --- Host ----------------------------------------------------------------- *)
+
+let host_cpu_consumes_time () =
+  Util.run_fiber (fun e ->
+      let h = Util.host e ~id:0 in
+      let t0 = Sim.Engine.now e in
+      Sim.Host.cpu h 1_000;
+      check "at least the compute time" true (Sim.Engine.now e - t0 >= 1_000))
+
+let host_pause_blocks_resume_unblocks () =
+  let progress = ref 0 in
+  let _e =
+    Util.run_scenario (fun e ->
+        let h = Util.host e ~id:0 in
+        Sim.Host.spawn h ~name:"worker" (fun () ->
+            let rec loop () =
+              Sim.Host.cpu h 100;
+              incr progress;
+              if !progress < 1_000 then loop ()
+            in
+            loop ());
+        Sim.Engine.schedule e ~at:5_000 (fun () -> Sim.Host.pause h);
+        Sim.Engine.schedule e ~at:100_000 (fun () ->
+            Alcotest.(check bool) "stalled while paused" true (!progress < 100);
+            Sim.Host.resume h))
+  in
+  check_int "completed after resume" 1_000 !progress
+
+let host_stop_process_parks_fibers () =
+  let progress = ref 0 in
+  let _e =
+    Util.run_scenario (fun e ->
+        let h = Util.host e ~id:0 in
+        Sim.Host.spawn h ~name:"worker" (fun () ->
+            let rec loop () =
+              Sim.Host.cpu h 100;
+              incr progress;
+              loop ()
+            in
+            loop ());
+        Sim.Engine.schedule e ~at:5_000 (fun () -> Sim.Host.stop_process h))
+  in
+  check "made some progress" true (!progress > 0);
+  check "stopped promptly" true (!progress <= 51)
+
+let host_liveness_transitions () =
+  let e = Util.engine () in
+  let h = Util.host e ~id:0 in
+  check "nic reachable running" true (Sim.Host.nic_reachable h);
+  Sim.Host.pause h;
+  check "nic reachable paused" true (Sim.Host.nic_reachable h);
+  check "process alive paused" true (Sim.Host.process_alive h);
+  Sim.Host.resume h;
+  Sim.Host.stop_process h;
+  check "nic reachable after process crash" true (Sim.Host.nic_reachable h);
+  check "process dead" false (Sim.Host.process_alive h);
+  Sim.Host.kill_host h;
+  check "nic dead" false (Sim.Host.nic_reachable h)
+
+let host_jitter_occurs () =
+  (* With a tiny jitter period, cpu calls take visibly longer than the
+     nominal time. *)
+  let cal =
+    { Util.default_cal with Sim.Calibration.cpu_jitter_period = 10_000;
+      cpu_jitter = Sim.Distribution.Constant 5_000.0 }
+  in
+  Util.run_fiber (fun e ->
+      let h = Sim.Host.create e cal ~id:0 ~name:"jittery" in
+      let t0 = Sim.Engine.now e in
+      for _ = 1 to 100 do
+        Sim.Host.cpu h 1_000
+      done;
+      let elapsed = Sim.Engine.now e - t0 in
+      check "jitter added" true (elapsed > 110_000))
+
+let suite =
+  [
+    ("rng deterministic", `Quick, rng_deterministic);
+    ("rng seed sensitivity", `Quick, rng_seed_sensitivity);
+    ("rng float range", `Quick, rng_float_range);
+    ("rng int range", `Quick, rng_int_range);
+    ("rng int bad bound", `Quick, rng_int_rejects_bad_bound);
+    ("rng split independent", `Quick, rng_split_independent);
+    ("rng gaussian moments", `Quick, rng_gaussian_moments);
+    ("rng exponential mean", `Quick, rng_exponential_mean);
+    ("distribution means", `Quick, dist_sampling_matches_mean);
+    ("distribution nonnegative", `Quick, dist_nonnegative);
+    ("distribution pareto minimum", `Quick, dist_pareto_minimum);
+    ("distribution sample_ns", `Quick, dist_sample_ns_rounds);
+    ("stats summary", `Quick, stats_summary);
+    ("stats percentiles", `Quick, stats_percentiles);
+    ("stats cache invalidation", `Quick, stats_percentile_cache_invalidation);
+    ("stats empty raises", `Quick, stats_empty_percentile_raises);
+    ("stats histogram", `Quick, stats_histogram);
+    ("heap ordering", `Quick, heap_ordering);
+    ("heap fifo within key", `Quick, heap_fifo_within_key);
+    ("heap interleaved", `Quick, heap_interleaved);
+    ("engine time advances", `Quick, engine_time_advances);
+    ("engine same-time fifo", `Quick, engine_same_time_fifo);
+    ("engine until limit", `Quick, engine_until_limit);
+    ("engine sleep", `Quick, engine_sleep);
+    ("engine fiber crash propagates", `Quick, engine_fiber_crash_propagates);
+    ("engine determinism", `Quick, engine_determinism);
+    ("ivar basics", `Quick, ivar_basics);
+    ("ivar blocks until filled", `Quick, ivar_blocks_until_filled);
+    ("ivar multiple readers", `Quick, ivar_multiple_readers);
+    ("chan fifo", `Quick, chan_fifo);
+    ("chan timeout expires", `Quick, chan_timeout_expires);
+    ("chan timeout receives", `Quick, chan_timeout_receives);
+    ("chan timeout no double delivery", `Quick, chan_timeout_no_double_delivery);
+    ("chan timeout boundary keeps value", `Quick, chan_timeout_boundary_keeps_value);
+    ("chan poll", `Quick, chan_poll);
+    ("host cpu consumes time", `Quick, host_cpu_consumes_time);
+    ("host pause/resume", `Quick, host_pause_blocks_resume_unblocks);
+    ("host stop parks fibers", `Quick, host_stop_process_parks_fibers);
+    ("host liveness transitions", `Quick, host_liveness_transitions);
+    ("host jitter occurs", `Quick, host_jitter_occurs);
+  ]

@@ -1,0 +1,62 @@
+(* Shared helpers for the test suite. *)
+
+let engine ?(seed = 7L) () = Sim.Engine.create ~seed ()
+
+(* Run [f] as a fiber and drive the simulation until it finishes; returns
+   f's result. Fails the test if the simulation drains without completing
+   (deadlock) or exceeds [until]. *)
+let run_fiber ?until ?(seed = 7L) f =
+  let e = engine ~seed () in
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"test" (fun () -> result := Some (f e));
+  Sim.Engine.run ?until e;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "test fiber did not complete (deadlock or time limit)"
+
+(* Same, but the body gets the engine and may spawn more fibers; the
+   engine keeps running after the body finishes until drained or [until]. *)
+let run_scenario ?until ?(seed = 7L) setup =
+  let e = engine ~seed () in
+  setup e;
+  Sim.Engine.run ?until e;
+  e
+
+let default_cal = Sim.Calibration.default
+
+let host ?(cal = default_cal) e ~id = Sim.Host.create e cal ~id ~name:(Printf.sprintf "h%d" id)
+
+(* A connected QP pair on two fresh hosts, both fully open. *)
+let qp_pair ?(cal = default_cal) e =
+  let a = host ~cal e ~id:0 and b = host ~cal e ~id:1 in
+  let cq_a = Rdma.Cq.create e and cq_b = Rdma.Cq.create e in
+  let qa = Rdma.Qp.create a ~cq:cq_a and qb = Rdma.Qp.create b ~cq:cq_b in
+  Rdma.Qp.connect qa qb;
+  Rdma.Qp.set_access qa Rdma.Verbs.access_rw;
+  Rdma.Qp.set_access qb Rdma.Verbs.access_rw;
+  (a, b, qa, qb, cq_a, cq_b)
+
+let bytes_of_string = Bytes.of_string
+
+let check_status = Alcotest.testable Rdma.Verbs.pp_wc_status ( = )
+
+(* A small Mu cluster with all planes running (no client service). *)
+let mu_cluster ?(cal = default_cal) ?(cfg = Mu.Config.default) e =
+  let smr =
+    Mu.Smr.create e cal cfg ~make_app:(fun _ -> Mu.Smr.stateless_app (fun _ -> Bytes.empty))
+  in
+  Mu.Smr.start ~client_service:false smr;
+  smr
+
+let wait_for pred e =
+  let deadline = Sim.Engine.now e + 5_000_000_000 in
+  while (not (pred ())) && Sim.Engine.now e < deadline do
+    Sim.Engine.sleep e 20_000
+  done;
+  if not (pred ()) then Alcotest.fail "wait_for: condition not reached in 5 sim-seconds"
+
+let leader_of smr e =
+  wait_for
+    (fun () -> match Mu.Smr.leader smr with Some _ -> true | None -> false)
+    e;
+  Option.get (Mu.Smr.leader smr)
