@@ -13,6 +13,9 @@ let only : string list ref = ref []
 let seed = ref 42L
 let with_bechamel = ref false
 let csv_dir : string option ref = ref None
+let trace_file : string option ref = ref None
+let tracer : Trace.Tracer.t option ref = ref None
+let exit_code = ref 0
 
 let () =
   let rec parse = function
@@ -32,12 +35,16 @@ let () =
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       parse rest
+    | "--trace" :: file :: rest ->
+      trace_file := Some file;
+      parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
-  parse (List.tl (Array.to_list Sys.argv))
+  parse (List.tl (Array.to_list Sys.argv));
+  if !trace_file <> None then tracer := Some (Trace.Tracer.create ())
 
 let want id = (!only = [] && id <> "bechamel") || List.mem id !only || (id = "bechamel" && !with_bechamel)
-let setup () = { E.seed = !seed; cal = Sim.Calibration.default }
+let setup () = { E.seed = !seed; cal = Sim.Calibration.default; trace = !tracer }
 let scale n = if !quick then max 100 (n / 10) else n
 
 let section id title =
@@ -245,6 +252,25 @@ let fig6 () =
     (100.0
     *. float_of_int (Sim.Stats.Samples.median r.E.switch)
     /. float_of_int (Sim.Stats.Samples.median r.E.total));
+  (* Acceptance check against the trace itself: the perm_switch spans the
+     fail-over rounds emitted must sum to the paper's ~30% of total. *)
+  (match !tracer with
+  | None -> ()
+  | Some tr ->
+    let bd = Trace.Tracer.breakdown tr in
+    let sw = Trace.Breakdown.total_ns bd ~cat:"failover" ~name:"perm_switch" in
+    let tot = Trace.Breakdown.total_ns bd ~cat:"failover" ~name:"total" in
+    if tot = 0 then begin
+      Fmt.pr "  trace check: FAIL (no failover spans recorded)@.";
+      exit_code := 1
+    end
+    else begin
+      let share = 100.0 *. float_of_int sw /. float_of_int tot in
+      let ok = share >= 25.0 && share <= 35.0 in
+      Fmt.pr "  traced perm_switch share of fail-over: %.1f%% (accept: 25-35%%) %s@." share
+        (if ok then "OK" else "FAIL");
+      if not ok then exit_code := 1
+    end);
   Fmt.pr "  histogram of total fail-over (50 us buckets):@.";
   let h = Sim.Stats.Histogram.create ~bucket_width:50_000 in
   List.iter (Sim.Stats.Histogram.add h) (Sim.Stats.Samples.to_list r.E.total);
@@ -430,4 +456,11 @@ let () =
   (match !csv_dir with
   | Some dir -> Fmt.pr "@.CSV series written to %s/@." dir
   | None -> ());
-  Fmt.pr "@.done.@."
+  (match !tracer, !trace_file with
+  | Some tr, Some file ->
+    Trace.Tracer.write_chrome tr file;
+    Fmt.pr "@.%a" Trace.Tracer.pp_summary tr;
+    Fmt.pr "Chrome trace written to %s (open in ui.perfetto.dev)@." file
+  | _ -> ());
+  Fmt.pr "@.done.@.";
+  exit !exit_code

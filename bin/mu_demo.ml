@@ -12,7 +12,8 @@
 
 open Cmdliner
 
-let setup_of seed = { Workload.Experiments.seed = Int64.of_int seed; cal = Sim.Calibration.default }
+let setup_of ?trace seed =
+  { Workload.Experiments.seed = Int64.of_int seed; cal = Sim.Calibration.default; trace }
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for the simulation.")
@@ -92,8 +93,9 @@ let compare_cmd =
 (* --- failover -------------------------------------------------------------- *)
 
 let failover_cmd =
-  let run seed rounds =
-    let r = Workload.Experiments.failover (setup_of seed) ~rounds in
+  let run seed rounds trace_file =
+    let tracer = Option.map (fun _ -> Trace.Tracer.create ()) trace_file in
+    let r = Workload.Experiments.failover (setup_of ?trace:tracer seed) ~rounds in
     pp_result "total fail-over" r.Workload.Experiments.total;
     pp_result "  detection" r.Workload.Experiments.detection;
     pp_result "  permission switch" r.Workload.Experiments.switch;
@@ -101,14 +103,27 @@ let failover_cmd =
     Fmt.pr "prior systems (modelled): HovercRaft %.1f ms, DARE %.1f ms, Hermes %.1f ms@."
       (Baselines.Failover_model.sample_us Baselines.Failover_model.hovercraft rng /. 1000.0)
       (Baselines.Failover_model.sample_us Baselines.Failover_model.dare rng /. 1000.0)
-      (Baselines.Failover_model.sample_us Baselines.Failover_model.hermes rng /. 1000.0)
+      (Baselines.Failover_model.sample_us Baselines.Failover_model.hermes rng /. 1000.0);
+    match tracer, trace_file with
+    | Some tr, Some file ->
+      Trace.Tracer.write_chrome tr file;
+      Fmt.pr "@.%aChrome trace written to %s (open in ui.perfetto.dev)@."
+        Trace.Tracer.pp_summary tr file
+    | _ -> ()
   in
   let rounds =
     Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Leader failures to inject.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record a Chrome trace-event JSON of the run to $(docv).")
+  in
   Cmd.v
     (Cmd.info "failover" ~doc:"Measure fail-over time across repeated leader failures (Fig. 6).")
-    Term.(const (fun () -> run) $ setup_logs $ seed_arg $ rounds)
+    Term.(const (fun () -> run) $ setup_logs $ seed_arg $ rounds $ trace)
 
 (* --- metrics ------------------------------------------------------------------ *)
 
@@ -128,8 +143,18 @@ let metrics_cmd =
           ignore (Mu.Smr.submit smr (Bytes.make 64 'm'))
         done;
         let r0 = Mu.Smr.replica smr 0 in
+        let before_failover =
+          Array.to_list (Mu.Smr.replicas smr)
+          |> List.map (fun (r : Mu.Replica.t) -> Mu.Metrics.copy r.Mu.Replica.metrics)
+        in
         Sim.Host.pause r0.Mu.Replica.host;
         ignore (Mu.Smr.submit smr (Bytes.make 64 'f'));
+        let after_failover =
+          Array.to_list (Mu.Smr.replicas smr)
+          |> List.map (fun (r : Mu.Replica.t) -> Mu.Metrics.copy r.Mu.Replica.metrics)
+        in
+        Fmt.pr "fail-over:  %a@." Mu.Metrics.pp
+          (Mu.Metrics.total (List.map2 Mu.Metrics.diff after_failover before_failover));
         Sim.Host.resume r0.Mu.Replica.host;
         Sim.Engine.sleep e 5_000_000;
         for _ = 1 to 200 do

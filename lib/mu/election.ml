@@ -77,10 +77,18 @@ let monitor_fiber t (p : Replica.peer) =
       let score = clamp c (if advanced then score + 1 else score - 1) in
       Hashtbl.replace t.Replica.scores p.Replica.pid score;
       let alive = Option.value (Hashtbl.find_opt t.Replica.alive p.Replica.pid) ~default:true in
-      if alive && score < c.Sim.Calibration.score_fail then
-        Hashtbl.replace t.Replica.alive p.Replica.pid false
+      let e = Replica.engine t in
+      let flip verdict name =
+        Hashtbl.replace t.Replica.alive p.Replica.pid verdict;
+        if Sim.Engine.traced e then
+          Sim.Engine.trace_instant e ~cat:"mu" ~pid:t.Replica.id
+            ~args:
+              [ ("peer", string_of_int p.Replica.pid); ("score", string_of_int score) ]
+            name
+      in
+      if alive && score < c.Sim.Calibration.score_fail then flip false "suspect"
       else if (not alive) && score > c.Sim.Calibration.score_recover then
-        Hashtbl.replace t.Replica.alive p.Replica.pid true;
+        flip true "recover";
       loop ()
     end
   in
@@ -108,6 +116,11 @@ let role_fiber t ~on_role_change =
             m "t=%dns replica %d becomes leader (gen %d)"
               (Sim.Engine.now (Replica.engine t))
               t.Replica.id t.Replica.role_generation);
+        let e = Replica.engine t in
+        if Sim.Engine.traced e then
+          Sim.Engine.trace_instant e ~cat:"mu" ~pid:t.Replica.id
+            ~args:[ ("gen", string_of_int t.Replica.role_generation) ]
+            "leader";
         on_role_change Replica.Leader
       | Replica.Leader, false ->
         t.Replica.role <- Replica.Follower;
@@ -116,6 +129,11 @@ let role_fiber t ~on_role_change =
             m "t=%dns replica %d demoted (leader estimate %d)"
               (Sim.Engine.now (Replica.engine t))
               t.Replica.id leader);
+        let e = Replica.engine t in
+        if Sim.Engine.traced e then
+          Sim.Engine.trace_instant e ~cat:"mu" ~pid:t.Replica.id
+            ~args:[ ("leader", string_of_int leader) ]
+            "demoted";
         on_role_change Replica.Follower
       | Replica.Leader, true | Replica.Follower, false -> ());
       Sim.Host.idle t.Replica.host c.Sim.Calibration.fd_read_interval;

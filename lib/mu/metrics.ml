@@ -35,6 +35,44 @@ let create () =
     slots_recycled = 0;
   }
 
+let copy m = { m with proposes = m.proposes }
+
+let reset m =
+  m.proposes <- 0;
+  m.commits <- 0;
+  m.aborts <- 0;
+  m.prepare_phases <- 0;
+  m.accept_rounds <- 0;
+  m.catch_up_entries <- 0;
+  m.update_entries <- 0;
+  m.followers_grown <- 0;
+  m.permission_requests <- 0;
+  m.permission_grants <- 0;
+  m.perm_fast_path <- 0;
+  m.perm_slow_path <- 0;
+  m.fd_reads <- 0;
+  m.entries_applied <- 0;
+  m.slots_recycled <- 0
+
+let diff a b =
+  {
+    proposes = a.proposes - b.proposes;
+    commits = a.commits - b.commits;
+    aborts = a.aborts - b.aborts;
+    prepare_phases = a.prepare_phases - b.prepare_phases;
+    accept_rounds = a.accept_rounds - b.accept_rounds;
+    catch_up_entries = a.catch_up_entries - b.catch_up_entries;
+    update_entries = a.update_entries - b.update_entries;
+    followers_grown = a.followers_grown - b.followers_grown;
+    permission_requests = a.permission_requests - b.permission_requests;
+    permission_grants = a.permission_grants - b.permission_grants;
+    perm_fast_path = a.perm_fast_path - b.perm_fast_path;
+    perm_slow_path = a.perm_slow_path - b.perm_slow_path;
+    fd_reads = a.fd_reads - b.fd_reads;
+    entries_applied = a.entries_applied - b.entries_applied;
+    slots_recycled = a.slots_recycled - b.slots_recycled;
+  }
+
 let pp ppf m =
   Fmt.pf ppf
     "proposes=%d commits=%d aborts=%d prepares=%d accepts=%d catch-up=%d update=%d \

@@ -26,5 +26,17 @@ type t = {
 val create : unit -> t
 val pp : t Fmt.t
 
+val copy : t -> t
+(** Independent snapshot; later mutation of the original is not seen. *)
+
+val reset : t -> unit
+(** Zero every counter in place. *)
+
+val diff : t -> t -> t
+(** [diff after before] — field-wise subtraction; with [before] a
+    {!copy} taken earlier from the same live record, the result is the
+    activity in between (e.g. the work done by one fail-over). *)
+
 val total : t list -> t
-(** Sum across replicas. *)
+(** Sum across replicas. [total [diff a b]] equals
+    [diff (total [a]) (total [b])] field-wise. *)

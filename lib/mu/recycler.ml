@@ -58,9 +58,13 @@ let recycle_once t =
   let heads = List.filter_map (fun p -> read_log_head t p) t.Replica.peers in
   let min_head = List.fold_left min t.Replica.applied heads in
   if min_head > t.Replica.zeroed_up_to then begin
+    let count = min_head - t.Replica.zeroed_up_to in
     t.Replica.metrics.Metrics.slots_recycled <-
-      t.Replica.metrics.Metrics.slots_recycled + (min_head - t.Replica.zeroed_up_to);
-    zero_ranges t ~from_idx:t.Replica.zeroed_up_to ~to_idx:min_head;
+      t.Replica.metrics.Metrics.slots_recycled + count;
+    Sim.Engine.trace_span (Replica.engine t) ~cat:"mu" ~pid:t.Replica.id
+      ~args:[ ("slots", string_of_int count) ]
+      "recycle"
+      (fun () -> zero_ranges t ~from_idx:t.Replica.zeroed_up_to ~to_idx:min_head);
     t.Replica.zeroed_up_to <- min_head
   end
 

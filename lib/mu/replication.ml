@@ -4,6 +4,12 @@ let log_src = Logs.Src.create "mu.replication" ~doc:"Replication plane"
 
 module L = (val Logs.src_log log_src : Logs.LOG)
 
+(* Protocol-phase span, attributed to this replica's host. A span's end
+   event is emitted even when the phase aborts (trace_span uses
+   Fun.protect), so traces of failed rounds stay well-nested. *)
+let tspan t name f =
+  Sim.Engine.trace_span (Replica.engine t) ~cat:"mu" ~pid:t.Replica.id name f
+
 let abort t reason =
   L.debug (fun m ->
       m "t=%dns replica %d aborts propose: %s"
@@ -87,6 +93,7 @@ let drain_completion t ~timeout =
 (* --- permission acquisition (Listing 2, lines 8-12) ------------------- *)
 
 let acquire_followers t =
+  tspan t "perm_acquire" @@ fun () ->
   let host = t.Replica.host in
   let gen = Permissions.request_permissions t in
   let deadline = Sim.Engine.now (Replica.engine t) + 500_000_000 in
@@ -127,6 +134,7 @@ let acquire_followers t =
 (* --- leader catch-up (Listing 5) --------------------------------------- *)
 
 let read_fuos t =
+  tspan t "read_fuos" @@ fun () ->
   let cf = confirmed_peers t in
   let tag = fresh_tag () in
   let bufs =
@@ -167,6 +175,7 @@ let copy_remote_slots t (p : Replica.peer) ~from_idx ~to_idx =
   done
 
 let leader_catch_up t fuos =
+  tspan t "catch_up" @@ fun () ->
   let log = t.Replica.log in
   let my_fuo = Log.fuo log in
   match List.fold_left (fun acc (p, f) -> match acc with Some (_, best) when best >= f -> acc | _ -> Some (p, f)) None fuos with
@@ -181,6 +190,7 @@ let leader_catch_up t fuos =
 (* --- update followers (Listing 6) -------------------------------------- *)
 
 let update_followers t fuos =
+  tspan t "update_followers" @@ fun () ->
   let log = t.Replica.log in
   let my_fuo = Log.fuo log in
   let tag = fresh_tag () in
@@ -217,6 +227,7 @@ let update_followers t fuos =
   if !posted > 0 then ignore (await_tag t ~tag ~needed:!posted)
 
 let become_leader t =
+  tspan t "become_leader" @@ fun () ->
   acquire_followers t;
   let fuos = read_fuos t in
   leader_catch_up t fuos;
@@ -277,7 +288,7 @@ let read_min_proposals t =
     bufs
 
 let prepare_phase t ~idx =
-  t.Replica.metrics.Metrics.prepare_phases <- t.Replica.metrics.Metrics.prepare_phases + 1;
+  tspan t "prepare" @@ fun () ->  t.Replica.metrics.Metrics.prepare_phases <- t.Replica.metrics.Metrics.prepare_phases + 1;
   let log = t.Replica.log in
   let minps = read_min_proposals t in
   check_own_permission t;
@@ -364,7 +375,7 @@ let post_accept t ~tag ~idx ~img =
     (confirmed_peers t)
 
 let accept_phase t ~prop_num ~value ~idx =
-  t.Replica.metrics.Metrics.accept_rounds <- t.Replica.metrics.Metrics.accept_rounds + 1;
+  tspan t "accept" @@ fun () ->  t.Replica.metrics.Metrics.accept_rounds <- t.Replica.metrics.Metrics.accept_rounds + 1;
   let img = Log.encode_slot t.Replica.log ~proposal:prop_num ~value in
   let tag = fresh_tag () in
   post_accept t ~tag ~idx ~img;
@@ -389,6 +400,7 @@ let propose t value =
   Fun.protect
     ~finally:(fun () -> t.Replica.propose_started_at <- None)
     (fun () ->
+      tspan t "propose" @@ fun () ->
       if t.Replica.need_new_followers then become_leader t
       else grow_followers t;
       let committed_at = ref (-1) in
@@ -401,8 +413,12 @@ let propose t value =
         in
         let v = match adopted with Some v -> v | None -> value in
         accept_phase t ~prop_num ~value:v ~idx;
-        Log.set_fuo t.Replica.log (idx + 1);
-        Replica.apply_committed t;
+        tspan t "commit" (fun () ->
+            Log.set_fuo t.Replica.log (idx + 1);
+            Replica.apply_committed t);
+        let e = Replica.engine t in
+        if Sim.Engine.traced e then
+          Sim.Engine.trace_counter e ~cat:"mu" ~pid:t.Replica.id "fuo" ~value:(idx + 1);
         if adopted = None then committed_at := idx
       done;
       t.Replica.metrics.Metrics.commits <- t.Replica.metrics.Metrics.commits + 1;

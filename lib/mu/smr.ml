@@ -240,6 +240,10 @@ let serve_pipelined t (r : Replica.t) =
           ignore (Queue.pop pending);
           Log.set_fuo r.Replica.log (head.idx + 1);
           Replica.apply_committed r;
+          let e = Replica.engine r in
+          if Sim.Engine.traced e then
+            Sim.Engine.trace_counter e ~cat:"mu" ~pid:r.Replica.id "fuo"
+              ~value:(head.idx + 1);
           fill_responses t r head.idx head.reqs;
           committed := true
         end

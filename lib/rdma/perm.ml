@@ -1,40 +1,54 @@
 let cal qp = Sim.Host.calibration (Qp.host qp)
 
-let change_qp_flags qp access =
+let span qp name f =
   let host = Qp.host qp in
-  let c = cal qp in
-  let hazardous =
-    match Qp.peer qp with None -> false | Some peer -> Qp.outstanding peer > 0
-  in
-  Sim.Host.cpu host (Sim.Distribution.sample_ns c.Sim.Calibration.perm_qp_flags (Sim.Host.rng host));
-  if hazardous && Sim.Rng.bool (Sim.Host.rng host) then begin
-    Qp.set_state qp Verbs.Err;
-    Error `Qp_error
-  end
-  else begin
-    Qp.set_access qp access;
-    Ok ()
-  end
+  Sim.Engine.trace_span (Sim.Host.engine host) ~cat:"rdma" ~pid:(Sim.Host.id host) name f
+
+let change_qp_flags qp access =
+  span qp "perm_flags" (fun () ->
+      let host = Qp.host qp in
+      let c = cal qp in
+      let hazardous =
+        match Qp.peer qp with None -> false | Some peer -> Qp.outstanding peer > 0
+      in
+      Sim.Host.cpu host
+        (Sim.Distribution.sample_ns c.Sim.Calibration.perm_qp_flags (Sim.Host.rng host));
+      if hazardous && Sim.Rng.bool (Sim.Host.rng host) then begin
+        Qp.set_state qp Verbs.Err;
+        Error `Qp_error
+      end
+      else begin
+        Qp.set_access qp access;
+        Ok ()
+      end)
 
 let restart_qp qp access =
-  let host = Qp.host qp in
-  let c = cal qp in
-  (* The QP is torn down first, so operations arriving during the cycle are
-     denied — this is what makes the slow path robust. *)
-  Qp.set_state qp Verbs.Reset;
-  Sim.Host.cpu host
-    (Sim.Distribution.sample_ns c.Sim.Calibration.perm_qp_restart (Sim.Host.rng host));
-  Qp.set_access qp access;
-  Qp.set_state qp Verbs.Rts
+  span qp "perm_restart" (fun () ->
+      let host = Qp.host qp in
+      let c = cal qp in
+      (* The QP is torn down first, so operations arriving during the cycle are
+         denied — this is what makes the slow path robust. *)
+      Qp.set_state qp Verbs.Reset;
+      Sim.Host.cpu host
+        (Sim.Distribution.sample_ns c.Sim.Calibration.perm_qp_restart (Sim.Host.rng host));
+      Qp.set_access qp access;
+      Qp.set_state qp Verbs.Rts)
 
 let rereg_mr mr access =
   let host = Mr.host mr in
-  let c = Sim.Host.calibration host in
-  let d = Sim.Calibration.mr_rereg_time c ~bytes:(Mr.size mr) in
-  Sim.Host.cpu host (Sim.Distribution.sample_ns d (Sim.Host.rng host));
-  Mr.set_access mr access
+  Sim.Engine.trace_span (Sim.Host.engine host) ~cat:"rdma" ~pid:(Sim.Host.id host) "mr_rereg"
+    (fun () ->
+      let c = Sim.Host.calibration host in
+      let d = Sim.Calibration.mr_rereg_time c ~bytes:(Mr.size mr) in
+      Sim.Host.cpu host (Sim.Distribution.sample_ns d (Sim.Host.rng host));
+      Mr.set_access mr access)
 
 let fast_slow_switch qp access =
   match change_qp_flags qp access with
   | Ok () -> ()
-  | Error `Qp_error -> restart_qp qp access
+  | Error `Qp_error ->
+    let host = Qp.host qp in
+    let e = Sim.Host.engine host in
+    if Sim.Engine.traced e then
+      Sim.Engine.trace_instant e ~cat:"rdma" ~pid:(Sim.Host.id host) "perm_slow_path";
+    restart_qp qp access

@@ -51,14 +51,43 @@ let peer t = t.peer
 let state t = t.state
 let access t = t.acc
 let set_access t acc = t.acc <- acc
-let set_state t s = t.state <- s
+
+let engine t = Sim.Host.engine t.host
+let cal t = Sim.Host.calibration t.host
+
+(* Transitions into ERR are the observable edge the failure detector and
+   permission slow path react to, so they get an instant probe event. *)
+let mark_err t =
+  if t.state <> Verbs.Err then begin
+    t.state <- Verbs.Err;
+    let e = engine t in
+    if Sim.Engine.traced e then
+      Sim.Engine.trace_instant e ~cat:"rdma" ~pid:(Sim.Host.id t.host) "qp_err"
+  end
+
+let set_state t s = if s = Verbs.Err then mark_err t else t.state <- s
 let repair t = if t.state = Verbs.Err then t.state <- Verbs.Rts
 let outstanding t = t.outstanding
 let link_up t = t.link.up
 let set_link_up t up = t.link.up <- up
 
-let engine t = Sim.Host.engine t.host
-let cal t = Sim.Host.calibration t.host
+let kind_name = function
+  | `Write -> "write"
+  | `Read -> "read"
+  | `Send -> "send"
+  | `Recv -> "recv"
+
+(* Async-span pairing id: host id composed with wr_id so concurrent posts
+   from different hosts never collide. *)
+let async_id t wr_id = ((Sim.Host.id t.host + 1) lsl 40) lor (wr_id land 0xFF_FFFF_FFFF)
+
+let trace_post t ~wr_id ~kind ~len =
+  let e = engine t in
+  if Sim.Engine.traced e then
+    Sim.Engine.trace_async_begin e ~cat:"rdma" ~pid:(Sim.Host.id t.host)
+      ~id:(async_id t wr_id)
+      ~args:[ ("len", string_of_int len) ]
+      (kind_name kind)
 
 (* Monotonic clocks preserve RC's in-order guarantees even though wire
    jitter is sampled independently per operation. *)
@@ -76,6 +105,12 @@ let deliver_completion t ~at ~wr_id ~kind ~status ?(byte_len = 0) ~before () =
   let at = completion_time t at in
   Sim.Engine.schedule (engine t) ~at (fun () ->
       t.outstanding <- t.outstanding - 1;
+      let e = engine t in
+      if Sim.Engine.traced e then
+        Sim.Engine.trace_async_end e ~cat:"rdma" ~pid:(Sim.Host.id t.host)
+          ~id:(async_id t wr_id)
+          ~args:[ ("status", Fmt.str "%a" Verbs.pp_wc_status status) ]
+          (kind_name kind);
       before ();
       Cq.push t.cq { Verbs.wr_id; kind; status; byte_len })
 
@@ -115,6 +150,7 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
   let c = cal t in
   Sim.Host.cpu t.host c.Sim.Calibration.wr_post;
   t.outstanding <- t.outstanding + 1;
+  trace_post t ~wr_id ~kind ~len:payload_out;
   match t.state, t.peer with
   | Verbs.Rts, Some resp when Mr.host mr == resp.host ->
     let t0 = Sim.Engine.now e in
@@ -122,7 +158,7 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
     Sim.Engine.schedule e ~at:arrive (fun () ->
         if (not t.link.up) || not (Sim.Host.nic_reachable resp.host) then begin
           (* RC retransmits silently until the transport timeout fires. *)
-          t.state <- Verbs.Err;
+          mark_err t;
           deliver_completion t
             ~at:(t0 + c.Sim.Calibration.rnic_timeout)
             ~wr_id ~kind ~status:Verbs.Operation_timeout
@@ -131,10 +167,10 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
         end
         else if not (responder_allows resp ~mr ~off ~len ~need_write) then begin
           (* NAK: both ends of the connection go to ERR (§5.2). *)
-          resp.state <- Verbs.Err;
+          mark_err resp;
           let back = Sim.Engine.now e + c.Sim.Calibration.nic_rx + wire_delay t ~len:0 in
           deliver_completion t ~at:back ~wr_id ~kind ~status:Verbs.Remote_access_error
-            ~before:(fun () -> t.state <- Verbs.Err)
+            ~before:(fun () -> mark_err t)
             ()
         end
         else begin
@@ -195,7 +231,7 @@ let consume_recv (resp : t) ~payload ~at ~notify =
   let len = Bytes.length payload in
   if len > r.rmax_len then begin
     (* Local length error at the responder; the connection breaks. *)
-    resp.state <- Verbs.Err;
+    mark_err resp;
     let at = completion_time resp (at + c.Sim.Calibration.nic_rx) in
     Sim.Engine.schedule (engine resp) ~at (fun () ->
         Cq.push resp.cq
@@ -230,6 +266,7 @@ let post_send t ~wr_id ~src ~src_off ~len =
   let c = cal t in
   Sim.Host.cpu t.host c.Sim.Calibration.wr_post;
   t.outstanding <- t.outstanding + 1;
+  trace_post t ~wr_id ~kind:`Send ~len;
   match t.state, t.peer with
   | Verbs.Rts, Some resp ->
     let payload = Bytes.sub src src_off len in
@@ -237,7 +274,7 @@ let post_send t ~wr_id ~src ~src_off ~len =
     let arrive = arrival_time t (t0 + tx_delay t ~payload:len + wire_delay t ~len) in
     Sim.Engine.schedule e ~at:arrive (fun () ->
         if (not t.link.up) || not (Sim.Host.nic_reachable resp.host) then begin
-          t.state <- Verbs.Err;
+          mark_err t;
           deliver_completion t
             ~at:(t0 + c.Sim.Calibration.rnic_timeout)
             ~wr_id ~kind:`Send ~status:Verbs.Operation_timeout
@@ -249,11 +286,11 @@ let post_send t ~wr_id ~src ~src_off ~len =
           | Verbs.Rtr | Verbs.Rts -> false
           | Verbs.Reset | Verbs.Init | Verbs.Err -> true
         then begin
-          resp.state <- Verbs.Err;
+          mark_err resp;
           let back = Sim.Engine.now e + c.Sim.Calibration.nic_rx + wire_delay t ~len:0 in
           deliver_completion t ~at:back ~wr_id ~kind:`Send
             ~status:Verbs.Remote_access_error
-            ~before:(fun () -> t.state <- Verbs.Err)
+            ~before:(fun () -> mark_err t)
             ()
         end
         else begin
@@ -262,7 +299,7 @@ let post_send t ~wr_id ~src ~src_off ~len =
               deliver_completion t
                 ~at:(arrived_at + wire_delay t ~len:0)
                 ~wr_id ~kind:`Send ~status:Verbs.Remote_access_error
-                ~before:(fun () -> t.state <- Verbs.Err)
+                ~before:(fun () -> mark_err t)
                 ()
             else
               deliver_completion t

@@ -5,6 +5,10 @@ type t = {
   root_rng : Rng.t;
   mutable halted : bool;
   mutable running : bool;
+  probe : Probe.t;
+  mutable next_fiber : int;
+  mutable cur_fiber : int;
+  mutable cur_pid : int;
 }
 
 exception Fiber_crash of string * exn
@@ -23,11 +27,65 @@ let create ?(seed = 1L) () =
     root_rng = Rng.create seed;
     halted = false;
     running = false;
+    probe = Probe.create ();
+    next_fiber = 0;
+    cur_fiber = 0;
+    cur_pid = -1;
   }
 
 let now t = t.now
 let rng t = t.root_rng
 let pending_events t = Heap.length t.events
+
+(* Tracing ------------------------------------------------------------- *)
+
+let probe t = t.probe
+let traced t = Probe.enabled t.probe
+let current_fiber t = t.cur_fiber
+
+let emit t ~kind ?(cat = "sim") ?pid ?tid ?(id = 0) ?(args = []) name =
+  match Probe.sink t.probe with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        Probe.ts = t.now;
+        kind;
+        name;
+        cat;
+        pid = (match pid with Some p -> p | None -> t.cur_pid);
+        tid = (match tid with Some x -> x | None -> t.cur_fiber);
+        id;
+        args;
+      }
+
+let trace_instant t ?cat ?pid ?tid ?args name =
+  emit t ~kind:Probe.Instant ?cat ?pid ?tid ?args name
+
+let trace_begin t ?cat ?pid ?tid ?args name =
+  emit t ~kind:Probe.Span_begin ?cat ?pid ?tid ?args name
+
+let trace_end t ?cat ?pid ?tid ?args name =
+  emit t ~kind:Probe.Span_end ?cat ?pid ?tid ?args name
+
+let trace_async_begin t ?cat ?pid ?args ~id name =
+  emit t ~kind:Probe.Async_begin ?cat ?pid ~id ?args name
+
+let trace_async_end t ?cat ?pid ?args ~id name =
+  emit t ~kind:Probe.Async_end ?cat ?pid ~id ?args name
+
+let trace_counter t ?cat ?pid name ~value =
+  emit t ~kind:Probe.Counter ?cat ?pid ~args:[ ("value", string_of_int value) ] name
+
+let trace_meta_process t ~pid name = emit t ~kind:Probe.Meta_process ~pid ~tid:0 name
+let trace_meta_thread t ~pid ~tid name = emit t ~kind:Probe.Meta_thread ~pid ~tid name
+
+let trace_span t ?cat ?pid ?args name f =
+  if not (Probe.enabled t.probe) then f ()
+  else begin
+    trace_begin t ?cat ?pid ?args name;
+    Fun.protect ~finally:(fun () -> trace_end t ?cat ?pid name) f
+  end
 
 let schedule t ~at thunk =
   let at = if at < t.now then t.now else at in
@@ -43,7 +101,25 @@ type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
 
 let suspend register = Effect.perform (Suspend register)
 
-let spawn t ?(name = "fiber") f =
+let spawn t ?(name = "fiber") ?(pid = -1) f =
+  t.next_fiber <- t.next_fiber + 1;
+  let fid = t.next_fiber in
+  if traced t then begin
+    trace_meta_thread t ~pid ~tid:fid name;
+    trace_instant t ~pid ~tid:fid ~args:[ ("name", name) ] "fiber_spawn"
+  end;
+  (* Fiber identity is tracked across suspensions so probe events emitted
+     from inside a segment carry the right (pid, tid) by default. A segment
+     runs to completion before any other event fires, so save/restore
+     around each segment is exact. *)
+  let enter () =
+    t.cur_fiber <- fid;
+    t.cur_pid <- pid
+  in
+  let leave () =
+    t.cur_fiber <- 0;
+    t.cur_pid <- -1
+  in
   let handler : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> ());
@@ -54,17 +130,22 @@ let spawn t ?(name = "fiber") f =
           | Suspend register ->
             Some
               (fun (k : (b, _) Effect.Deep.continuation) ->
+                if traced t then trace_instant t "fiber_park";
                 let resumed = ref false in
                 let resume v =
                   if !resumed then invalid_arg "Engine: fiber resumed twice";
                   resumed := true;
-                  schedule t ~at:t.now (fun () -> Effect.Deep.continue k v)
+                  schedule t ~at:t.now (fun () ->
+                      enter ();
+                      Fun.protect ~finally:leave (fun () -> Effect.Deep.continue k v))
                 in
                 register resume)
           | _ -> None);
     }
   in
-  schedule t ~at:t.now (fun () -> Effect.Deep.match_with f () handler)
+  schedule t ~at:t.now (fun () ->
+      enter ();
+      Fun.protect ~finally:leave (fun () -> Effect.Deep.match_with f () handler))
 
 let sleep t delay = suspend (fun resume -> schedule_after t delay (fun () -> resume ()))
 let yield t = sleep t 0

@@ -32,9 +32,10 @@ val schedule : t -> at:int -> (unit -> unit) -> unit
 val schedule_after : t -> int -> (unit -> unit) -> unit
 (** Schedule a thunk at [now + delay]. *)
 
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
+val spawn : t -> ?name:string -> ?pid:int -> (unit -> unit) -> unit
 (** Start a fiber at the current time. The body may use the suspension
-    operations below. *)
+    operations below. [pid] tags the fiber's probe events with a host id
+    (default -1: no host); {!Host.spawn} passes its own id. *)
 
 val run : ?until:int -> t -> unit
 (** Execute events until the queue is empty, [until] is reached, or
@@ -44,6 +45,54 @@ val halt : t -> unit
 (** Stop {!run} after the current event. *)
 
 val pending_events : t -> int
+
+(** {1 Tracing}
+
+    Every engine owns a {!Probe.t}. With no sink installed (the default),
+    every [trace_*] call below is a single option check; the [trace]
+    library installs a sink to record structured traces. Events are
+    stamped with the virtual clock, so equal seeds yield identical event
+    streams. Emitting never perturbs the simulation. *)
+
+val probe : t -> Probe.t
+(** The engine's probe; install a sink with {!Probe.set_sink}. *)
+
+val traced : t -> bool
+(** [true] iff a sink is installed. Guard argument-list construction on
+    hot paths with this. *)
+
+val current_fiber : t -> int
+(** Id of the fiber whose segment is executing (0 = scheduler). *)
+
+val trace_instant :
+  t -> ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * string) list -> string -> unit
+
+val trace_begin :
+  t -> ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * string) list -> string -> unit
+
+val trace_end :
+  t -> ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * string) list -> string -> unit
+
+val trace_async_begin :
+  t -> ?cat:string -> ?pid:int -> ?args:(string * string) list -> id:int -> string -> unit
+(** Async spans pair by (cat, name, id) and may end on a different fiber
+    than they began (e.g. an RDMA post and its completion). *)
+
+val trace_async_end :
+  t -> ?cat:string -> ?pid:int -> ?args:(string * string) list -> id:int -> string -> unit
+
+val trace_counter : t -> ?cat:string -> ?pid:int -> string -> value:int -> unit
+
+val trace_meta_process : t -> pid:int -> string -> unit
+(** Name a host for trace viewers; emitted by {!Host.create}. *)
+
+val trace_meta_thread : t -> pid:int -> tid:int -> string -> unit
+
+val trace_span :
+  t -> ?cat:string -> ?pid:int -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [trace_span t ~cat name f] brackets [f] in a begin/end pair; the end
+    event is emitted even when [f] raises. When no sink is installed this
+    is exactly [f ()]. *)
 
 (** {1 Fiber operations} — valid only inside a fiber body. *)
 

@@ -33,6 +33,7 @@ let create engine calibration ~id ~name =
     }
   in
   schedule_next_jitter t;
+  if Engine.traced engine then Engine.trace_meta_process engine ~pid:id name;
   t
 
 let engine t = t.engine
@@ -65,6 +66,10 @@ let cpu t ns =
     t.cpu_since_jitter <- 0;
     schedule_next_jitter t;
     let jitter = Distribution.sample_ns t.calibration.Calibration.cpu_jitter t.rng in
+    if Engine.traced t.engine then
+      Engine.trace_instant t.engine ~pid:t.id
+        ~args:[ ("ns", string_of_int jitter) ]
+        "sched_jitter";
     Engine.sleep t.engine jitter
   end;
   check t
@@ -75,7 +80,7 @@ let idle t ns =
   check t
 
 let spawn t ~name f =
-  Engine.spawn t.engine ~name:(Printf.sprintf "%s/%s" t.name name) (fun () ->
+  Engine.spawn t.engine ~name:(Printf.sprintf "%s/%s" t.name name) ~pid:t.id (fun () ->
       check t;
       f ())
 
@@ -83,6 +88,7 @@ let pause t =
   match t.state with
   | Running ->
     t.state <- Paused;
+    Engine.trace_instant t.engine ~pid:t.id "host_pause";
     t.resume_gate <- Engine.Ivar.create t.engine
   | Paused | Process_stopped | Host_dead -> ()
 
@@ -90,12 +96,17 @@ let resume t =
   match t.state with
   | Paused ->
     t.state <- Running;
+    Engine.trace_instant t.engine ~pid:t.id "host_resume";
     Engine.Ivar.fill t.resume_gate ()
   | Running | Process_stopped | Host_dead -> ()
 
 let stop_process t =
   match t.state with
   | Host_dead -> ()
-  | Running | Paused | Process_stopped -> t.state <- Process_stopped
+  | Running | Paused | Process_stopped ->
+    t.state <- Process_stopped;
+    Engine.trace_instant t.engine ~pid:t.id "host_stop"
 
-let kill_host t = t.state <- Host_dead
+let kill_host t =
+  t.state <- Host_dead;
+  Engine.trace_instant t.engine ~pid:t.id "host_kill"

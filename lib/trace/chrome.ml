@@ -1,0 +1,122 @@
+(* Chrome trace-event JSON ("JSON Object Format"), loadable in Perfetto
+   (ui.perfetto.dev) and chrome://tracing.
+
+   Determinism: timestamps are integer nanoseconds rendered as fixed-point
+   microseconds ("%d.%03d") — no float formatting anywhere on the event
+   path — and process/thread metadata is emitted in sorted order, so equal
+   seeds produce byte-identical files. *)
+
+let buf_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Stdlib.Buffer.add_string b "\\\""
+      | '\\' -> Stdlib.Buffer.add_string b "\\\\"
+      | '\n' -> Stdlib.Buffer.add_string b "\\n"
+      | '\r' -> Stdlib.Buffer.add_string b "\\r"
+      | '\t' -> Stdlib.Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Stdlib.Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Stdlib.Buffer.add_char b c)
+    s
+
+let add_str b s =
+  Stdlib.Buffer.add_char b '"';
+  buf_escape b s;
+  Stdlib.Buffer.add_char b '"'
+
+(* Host -1 ("no host": scheduler, experiment harness fibers) maps to a
+   synthetic high pid — trace viewers dislike negative pids. *)
+let engine_pid = 65535
+let out_pid p = if p < 0 then engine_pid else p
+
+let add_ts b ns = Stdlib.Buffer.add_string b (Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000))
+
+let add_args b args =
+  Stdlib.Buffer.add_string b ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Stdlib.Buffer.add_char b ',';
+      add_str b k;
+      Stdlib.Buffer.add_char b ':';
+      (* Numeric-looking values go out as JSON numbers so Perfetto can
+         plot counters. *)
+      match int_of_string_opt v with
+      | Some n -> Stdlib.Buffer.add_string b (string_of_int n)
+      | None -> add_str b v)
+    args;
+  Stdlib.Buffer.add_char b '}'
+
+let add_event b (ev : Sim.Probe.event) =
+  let ph =
+    match ev.kind with
+    | Sim.Probe.Instant -> "i"
+    | Sim.Probe.Span_begin -> "B"
+    | Sim.Probe.Span_end -> "E"
+    | Sim.Probe.Async_begin -> "b"
+    | Sim.Probe.Async_end -> "e"
+    | Sim.Probe.Counter -> "C"
+    | Sim.Probe.Meta_process -> "M"
+    | Sim.Probe.Meta_thread -> "M"
+  in
+  Stdlib.Buffer.add_string b "{\"name\":";
+  add_str b ev.name;
+  Stdlib.Buffer.add_string b ",\"cat\":";
+  add_str b (if ev.cat = "" then "sim" else ev.cat);
+  Stdlib.Buffer.add_string b ",\"ph\":\"";
+  Stdlib.Buffer.add_string b ph;
+  Stdlib.Buffer.add_string b "\",\"ts\":";
+  add_ts b ev.ts;
+  Stdlib.Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" (out_pid ev.pid) ev.tid);
+  (match ev.kind with
+  | Sim.Probe.Instant -> Stdlib.Buffer.add_string b ",\"s\":\"t\""
+  | Sim.Probe.Async_begin | Sim.Probe.Async_end ->
+    Stdlib.Buffer.add_string b (Printf.sprintf ",\"id\":\"0x%x\"" ev.id)
+  | _ -> ());
+  if ev.args <> [] then add_args b ev.args;
+  Stdlib.Buffer.add_char b '}'
+
+let add_meta b ~name ~pid ?tid value =
+  Stdlib.Buffer.add_string b "{\"name\":\"";
+  Stdlib.Buffer.add_string b name;
+  Stdlib.Buffer.add_string b (Printf.sprintf "\",\"ph\":\"M\",\"pid\":%d" (out_pid pid));
+  (match tid with
+  | Some tid -> Stdlib.Buffer.add_string b (Printf.sprintf ",\"tid\":%d" tid)
+  | None -> ());
+  Stdlib.Buffer.add_string b ",\"args\":{\"name\":";
+  add_str b value;
+  Stdlib.Buffer.add_string b "}}"
+
+let to_buffer b ~processes ~threads events =
+  Stdlib.Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Stdlib.Buffer.add_string b ",\n"
+  in
+  List.iter
+    (fun (pid, name) ->
+      sep ();
+      add_meta b ~name:"process_name" ~pid name)
+    processes;
+  List.iter
+    (fun ((pid, tid), name) ->
+      sep ();
+      add_meta b ~name:"thread_name" ~pid ~tid name)
+    threads;
+  List.iter
+    (fun ev ->
+      sep ();
+      add_event b ev)
+    events;
+  Stdlib.Buffer.add_string b "\n]}\n"
+
+let to_string ~processes ~threads events =
+  let b = Stdlib.Buffer.create 65536 in
+  to_buffer b ~processes ~threads events;
+  Stdlib.Buffer.contents b
+
+let write_file path ~processes ~threads events =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~processes ~threads events))

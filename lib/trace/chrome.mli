@@ -1,0 +1,36 @@
+(** Chrome trace-event JSON exporter (Perfetto / chrome://tracing).
+
+    Hosts render as processes, fibers as threads. Mapping:
+    - {!Sim.Probe.Span_begin}/[Span_end] -> ["B"]/["E"] (nested per thread)
+    - [Async_begin]/[Async_end] -> ["b"]/["e"] with ["id"] (RDMA verbs)
+    - [Instant] -> ["i"] thread-scoped
+    - [Counter] -> ["C"] (numeric args plotted as counter tracks)
+    - process/thread names -> ["M"] metadata
+
+    Timestamps are virtual nanoseconds rendered as fixed-point
+    microseconds with integer arithmetic only; given identical event
+    streams the output is byte-identical. Events with pid -1 (scheduler,
+    experiment harness) are grouped under synthetic process 65535. *)
+
+val engine_pid : int
+(** Synthetic pid (65535) that hostless events are exported under. *)
+
+val to_buffer :
+  Stdlib.Buffer.t ->
+  processes:(int * string) list ->
+  threads:((int * int) * string) list ->
+  Sim.Probe.event list ->
+  unit
+
+val to_string :
+  processes:(int * string) list ->
+  threads:((int * int) * string) list ->
+  Sim.Probe.event list ->
+  string
+
+val write_file :
+  string ->
+  processes:(int * string) list ->
+  threads:((int * int) * string) list ->
+  Sim.Probe.event list ->
+  unit

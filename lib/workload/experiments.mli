@@ -4,7 +4,14 @@
     plots. The bench harness ([bench/main.ml]) formats them next to the
     paper's numbers. *)
 
-type setup = { seed : int64; cal : Sim.Calibration.t }
+type setup = {
+  seed : int64;
+  cal : Sim.Calibration.t;
+  trace : Trace.Tracer.t option;
+      (** When set, every engine an experiment creates gets this tracer
+          attached; fail-over rounds additionally emit per-phase spans
+          under category ["failover"]. *)
+}
 
 val default_setup : setup
 

@@ -20,5 +20,6 @@ let () =
       ("replayer-recycler", Test_replayer.suite);
       ("invariants", Test_invariants.suite);
       ("misc", Test_misc.suite);
+      ("trace", Test_trace.suite);
       ("properties", Test_properties.suite);
     ]

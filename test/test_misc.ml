@@ -113,6 +113,45 @@ let metrics_totals () =
   check_int "fast path" 2 t.Mu.Metrics.perm_fast_path;
   check "pp renders" true (String.length (Fmt.str "%a" Mu.Metrics.pp t) > 0)
 
+let metrics_reset_copy_diff () =
+  let m = Mu.Metrics.create () in
+  m.Mu.Metrics.proposes <- 5;
+  m.Mu.Metrics.commits <- 4;
+  m.Mu.Metrics.fd_reads <- 100;
+  let before = Mu.Metrics.copy m in
+  (* copy is an independent snapshot. *)
+  m.Mu.Metrics.proposes <- 9;
+  m.Mu.Metrics.slots_recycled <- 2;
+  check_int "copy unaffected" 5 before.Mu.Metrics.proposes;
+  check_int "copy unaffected (recycled)" 0 before.Mu.Metrics.slots_recycled;
+  (* diff after before = the activity in between. *)
+  let d = Mu.Metrics.diff m before in
+  check_int "diff proposes" 4 d.Mu.Metrics.proposes;
+  check_int "diff commits" 0 d.Mu.Metrics.commits;
+  check_int "diff recycled" 2 d.Mu.Metrics.slots_recycled;
+  (* reset zeroes in place. *)
+  Mu.Metrics.reset m;
+  check_int "reset proposes" 0 m.Mu.Metrics.proposes;
+  check_int "reset fd_reads" 0 m.Mu.Metrics.fd_reads;
+  check "reset equals fresh" true (m = Mu.Metrics.create ())
+
+let metrics_total_diff_round_trip () =
+  (* total [diff a b] = diff (total [a...]) (total [b...]) field-wise. *)
+  let mk p c f =
+    let m = Mu.Metrics.create () in
+    m.Mu.Metrics.proposes <- p;
+    m.Mu.Metrics.commits <- c;
+    m.Mu.Metrics.perm_fast_path <- f;
+    m
+  in
+  let after = [ mk 10 8 3; mk 7 7 0 ] and before = [ mk 4 4 1; mk 2 1 0 ] in
+  let per_replica = Mu.Metrics.total (List.map2 Mu.Metrics.diff after before) in
+  let of_totals = Mu.Metrics.diff (Mu.Metrics.total after) (Mu.Metrics.total before) in
+  check "total/diff commute" true (per_replica = of_totals);
+  check_int "proposes delta" 11 per_replica.Mu.Metrics.proposes;
+  check_int "commits delta" 10 per_replica.Mu.Metrics.commits;
+  check_int "fast-path delta" 2 per_replica.Mu.Metrics.perm_fast_path
+
 (* --- failover models -------------------------------------------------------------- *)
 
 let failover_models_ordering () =
@@ -159,6 +198,8 @@ let suite =
     ("calibration relationships", `Quick, calibration_relationships);
     ("cq await timeout", `Quick, cq_await_timeout);
     ("metrics totals", `Quick, metrics_totals);
+    ("metrics reset/copy/diff", `Quick, metrics_reset_copy_diff);
+    ("metrics total/diff round-trip", `Quick, metrics_total_diff_round_trip);
     ("failover models ordering", `Quick, failover_models_ordering);
     ("shard router stable and bounded", `Quick, shard_router_stable_and_bounded);
   ]

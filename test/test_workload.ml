@@ -128,6 +128,35 @@ let lin_keys_independent () =
   in
   check "multi-key ok" true (Workload.Linearizability.check h)
 
+let lin_stale_read_after_acked_write_rejected () =
+  (* Adversarial: a fourth client reads "v1" strictly after proc1's write
+     of "v2" was acknowledged — every read after an acked overwrite must
+     observe the new value (or a later one). *)
+  let h =
+    [
+      op ~proc:1 ~inv:0 ~res:1 ~key:"k" (Workload.Linearizability.Write "v1");
+      op ~proc:2 ~inv:2 ~res:3 ~key:"k" (Workload.Linearizability.Read (Some "v1"));
+      op ~proc:1 ~inv:4 ~res:5 ~key:"k" (Workload.Linearizability.Write "v2");
+      op ~proc:3 ~inv:6 ~res:7 ~key:"k" (Workload.Linearizability.Read (Some "v1"));
+    ]
+  in
+  check "stale read after acked write rejected" false
+    (Workload.Linearizability.check h)
+
+let lin_cross_client_inversion_rejected () =
+  (* Adversarial: two non-overlapping writes ("a" strictly before "b"),
+     then a reader sees "b" while a later reader sees "a" — real-time
+     order forbids the state from moving backwards across clients. *)
+  let h =
+    [
+      op ~proc:1 ~inv:0 ~res:1 ~key:"k" (Workload.Linearizability.Write "a");
+      op ~proc:2 ~inv:2 ~res:3 ~key:"k" (Workload.Linearizability.Write "b");
+      op ~proc:3 ~inv:4 ~res:5 ~key:"k" (Workload.Linearizability.Read (Some "b"));
+      op ~proc:4 ~inv:6 ~res:7 ~key:"k" (Workload.Linearizability.Read (Some "a"));
+    ]
+  in
+  check "cross-client inversion rejected" false (Workload.Linearizability.check h)
+
 (* --- end to end: the replicated KV is linearizable -------------------------- *)
 
 let replicated_kv_is_linearizable () =
@@ -199,5 +228,7 @@ let suite =
     ("lin: read during write flexible", `Quick, lin_read_during_write_flexible);
     ("lin: non-atomic history rejected", `Quick, lin_nonatomic_history_rejected);
     ("lin: keys independent", `Quick, lin_keys_independent);
+    ("lin: stale read after acked write", `Quick, lin_stale_read_after_acked_write_rejected);
+    ("lin: cross-client inversion", `Quick, lin_cross_client_inversion_rejected);
     ("replicated kv is linearizable", `Quick, replicated_kv_is_linearizable);
   ]
