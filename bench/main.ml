@@ -4,7 +4,9 @@
    experiment index and EXPERIMENTS.md for a recorded run.
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --only fig4 --only fig6]
-                                   [-- --seed N] [-- --bechamel] [-- --csv DIR] *)
+                                   [-- --seed N] [-- --bechamel] [-- --csv DIR]
+                                   [-- --metrics FILE] [-- --metrics-interval NS]
+                                   [-- --results FILE] *)
 
 module E = Workload.Experiments
 
@@ -15,6 +17,10 @@ let with_bechamel = ref false
 let csv_dir : string option ref = ref None
 let trace_file : string option ref = ref None
 let tracer : Trace.Tracer.t option ref = ref None
+let metrics_file : string option ref = ref None
+let metrics_interval = ref 50_000
+let sampler : Telemetry.Sampler.t option ref = ref None
+let results_file = ref "BENCH_results.json"
 let exit_code = ref 0
 
 let () =
@@ -38,16 +44,42 @@ let () =
     | "--trace" :: file :: rest ->
       trace_file := Some file;
       parse rest
+    | "--metrics" :: file :: rest ->
+      metrics_file := Some file;
+      parse rest
+    | "--metrics-interval" :: n :: rest ->
+      metrics_interval := int_of_string n;
+      parse rest
+    | "--results" :: file :: rest ->
+      results_file := file;
+      parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !trace_file <> None then tracer := Some (Trace.Tracer.create ())
+  if !trace_file <> None then tracer := Some (Trace.Tracer.create ());
+  if !metrics_file <> None then
+    sampler :=
+      Some
+        (Telemetry.Sampler.create (Telemetry.Registry.create ()) ~interval:!metrics_interval)
 
 let want id = (!only = [] && id <> "bechamel") || List.mem id !only || (id = "bechamel" && !with_bechamel)
-let setup () = { E.seed = !seed; cal = Sim.Calibration.default; trace = !tracer }
+
+let setup () =
+  { E.seed = !seed; cal = Sim.Calibration.default; trace = !tracer; metrics = !sampler }
+
+(* Captured for BENCH_results.json and the acceptance checks. *)
+let mu_samples : Sim.Stats.Samples.t option ref = ref None
+let failover_result : E.failover_stats option ref = ref None
+let figures_run : string list ref = ref []
+let checks : (string * bool * string) list ref = ref []
+
+let record_check name ok detail =
+  checks := (name, ok, detail) :: !checks;
+  if not ok then exit_code := 1
 let scale n = if !quick then max 100 (n / 10) else n
 
 let section id title =
+  figures_run := id :: !figures_run;
   Fmt.pr "@.=== %s — %s ===@." id title
 
 (* Optional gnuplot-ready CSV dumps alongside the printed report. *)
@@ -153,10 +185,12 @@ let fig3 () =
   let n = scale 50_000 in
   List.iter
     (fun payload ->
+      let r = E.mu_replication_latency s ~samples:n ~payload ~attach:Mu.Config.Standalone in
+      if payload = 64 then mu_samples := Some r;
       pp_samples
         (Printf.sprintf "standalone %dB" payload)
         ~paper:(if payload <= 128 then "paper: ~1.30 us (inline)" else "paper: inline+DMA")
-        (E.mu_replication_latency s ~samples:n ~payload ~attach:Mu.Config.Standalone))
+        r)
     [ 32; 64; 128; 256; 512 ];
   pp_samples "attached LiQ 32B (direct)" ~paper:"paper: standalone + <400ns"
     (E.mu_replication_latency s ~samples:n ~payload:32 ~attach:Mu.Config.Direct);
@@ -178,6 +212,7 @@ let fig4 () =
   let s = setup () in
   let n = scale 50_000 in
   let mu = E.mu_replication_latency s ~samples:n ~payload:64 ~attach:Mu.Config.Standalone in
+  mu_samples := Some mu;
   pp_samples "Mu" ~paper:"paper: 1.30 us" mu;
   let mu_med = Sim.Stats.Samples.median mu in
   List.iter
@@ -245,6 +280,7 @@ let fig6 () =
     \  ~30%% of total (mean 244 us, 99p 294 us — two permission changes).@.";
   let rounds = scale 1_000 in
   let r = E.failover (setup ()) ~rounds in
+  failover_result := Some r;
   pp_samples "total fail-over" ~paper:"paper: 873 (.. 947) us" r.E.total;
   pp_samples "  detection" ~paper:"paper: ~600 us" r.E.detection;
   pp_samples "  permission switch + catch-up" ~paper:"paper: 244 (.. 294) us" r.E.switch;
@@ -462,5 +498,73 @@ let () =
     Fmt.pr "@.%a" Trace.Tracer.pp_summary tr;
     Fmt.pr "Chrome trace written to %s (open in ui.perfetto.dev)@." file
   | _ -> ());
+  (* --- acceptance checks -------------------------------------------------- *)
+  (match !mu_samples with
+  | None -> ()
+  | Some s ->
+    (* Calibrated band for 64 B standalone replication: the paper reports
+       ~1.3 us median; accept [0.9, 2.0] us. *)
+    let p50 = Sim.Stats.Samples.median s in
+    let ok = p50 >= 900 && p50 <= 2_000 in
+    record_check "replication_p50_band" ok
+      (Printf.sprintf "p50 %.2f us (accept 0.90-2.00 us)" (us p50));
+    Fmt.pr "@.check: 64B replication median in calibrated band: %.2f us %s@." (us p50)
+      (if ok then "OK" else "FAIL"));
+  (match !sampler, !failover_result with
+  | Some smp, Some _ ->
+    (* The exported score timeline must show some follower's view of the
+       paused leader crossing below the fail threshold and, after the
+       resume, back above the recover threshold. *)
+    let ok = Telemetry.Dashboard.has_fail_recover_crossing ~fail:2 ~recover:6 smp in
+    record_check "score_fail_recover_crossing" ok
+      "mu_score timeline crosses <2 then >6 during fail-over";
+    Fmt.pr "check: score timeline crosses fail(<2) then recover(>6): %s@."
+      (if ok then "OK" else "FAIL")
+  | _ -> ());
+  (* --- metrics export ----------------------------------------------------- *)
+  (match !sampler, !metrics_file with
+  | Some smp, Some file ->
+    Telemetry.Export.to_file ~sampler:smp (Telemetry.Sampler.registry smp) file;
+    Fmt.pr "@.Metrics written to %s@." file;
+    Fmt.pr "%s" (Telemetry.Dashboard.render ~sampler:smp (Telemetry.Sampler.registry smp))
+  | _ -> ());
+  (* --- BENCH_results.json -------------------------------------------------- *)
+  (let b = Buffer.create 1024 in
+   let samples_json s =
+     Printf.sprintf "{\"p50\":%d,\"p99\":%d,\"p999\":%d}"
+       (Sim.Stats.Samples.median s)
+       (Sim.Stats.Samples.percentile s 99.0)
+       (Sim.Stats.Samples.percentile s 99.9)
+   in
+   Buffer.add_string b "{\"schema\":\"mu-bench-results/1\",";
+   Buffer.add_string b (Printf.sprintf "\"seed\":%Ld,\"quick\":%b," !seed !quick);
+   Buffer.add_string b
+     (Printf.sprintf "\"figures\":[%s],"
+        (String.concat ","
+           (List.map (fun f -> "\"" ^ f ^ "\"") (List.rev !figures_run))));
+   Buffer.add_string b "\"replication_latency_ns\":";
+   (match !mu_samples with
+   | Some s -> Buffer.add_string b (samples_json s)
+   | None -> Buffer.add_string b "null");
+   Buffer.add_string b ",\"failover_ns\":";
+   (match !failover_result with
+   | Some r ->
+     Buffer.add_string b
+       (Printf.sprintf "{\"total\":%s,\"detection\":%s,\"switch\":%s}"
+          (samples_json r.E.total) (samples_json r.E.detection) (samples_json r.E.switch))
+   | None -> Buffer.add_string b "null");
+   Buffer.add_string b ",\"checks\":[";
+   List.iteri
+     (fun i (name, ok, detail) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (Printf.sprintf "{\"name\":\"%s\",\"ok\":%b,\"detail\":\"%s\"}" name ok detail))
+     (List.rev !checks);
+   Buffer.add_string b "]}";
+   let oc = open_out !results_file in
+   output_string oc (Buffer.contents b);
+   output_char oc '\n';
+   close_out oc;
+   Fmt.pr "@.Results written to %s@." !results_file);
   Fmt.pr "@.done.@.";
   exit !exit_code

@@ -7,16 +7,46 @@
      mu_demo failover   --rounds 200
      mu_demo throughput --batch 32 --outstanding 2 --requests 30000
      mu_demo detectors
+     mu_demo report     --samples 20000 --rounds 50
 
    All experiments are deterministic given --seed. *)
 
 open Cmdliner
 
-let setup_of ?trace seed =
-  { Workload.Experiments.seed = Int64.of_int seed; cal = Sim.Calibration.default; trace }
+let setup_of ?trace ?metrics seed =
+  { Workload.Experiments.seed = Int64.of_int seed; cal = Sim.Calibration.default; trace;
+    metrics }
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for the simulation.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Export telemetry to $(docv) (.json with time-series, .csv, or .prom/.txt \
+           Prometheus text).")
+
+let metrics_interval_arg =
+  Arg.(
+    value
+    & opt int 50_000
+    & info [ "metrics-interval" ] ~docv:"NS"
+        ~doc:"Virtual-time sampling interval for metric time-series.")
+
+let make_sampler metrics_file interval =
+  Option.map
+    (fun _ -> Telemetry.Sampler.create (Telemetry.Registry.create ()) ~interval)
+    metrics_file
+
+let export_metrics sampler metrics_file =
+  match sampler, metrics_file with
+  | Some smp, Some file ->
+    Telemetry.Export.to_file ~sampler:smp (Telemetry.Sampler.registry smp) file;
+    Fmt.pr "Metrics written to %s@." file
+  | _ -> ()
 
 (* -v / -vv install a Logs reporter so the protocol's role changes,
    permission grants and aborts become visible. *)
@@ -52,11 +82,15 @@ let attach_conv =
   Arg.conv (parse, print)
 
 let latency_cmd =
-  let run seed samples payload attach =
+  let run seed samples payload attach metrics_file interval =
+    let sampler = make_sampler metrics_file interval in
     let s =
-      Workload.Experiments.mu_replication_latency (setup_of seed) ~samples ~payload ~attach
+      Workload.Experiments.mu_replication_latency
+        (setup_of ?metrics:sampler seed)
+        ~samples ~payload ~attach
     in
-    pp_result (Printf.sprintf "Mu %dB" payload) s
+    pp_result (Printf.sprintf "Mu %dB" payload) s;
+    export_metrics sampler metrics_file
   in
   let payload =
     Arg.(value & opt int 64 & info [ "payload" ] ~docv:"BYTES" ~doc:"Request payload size.")
@@ -69,7 +103,9 @@ let latency_cmd =
   in
   Cmd.v
     (Cmd.info "latency" ~doc:"Measure Mu's replication latency (paper Fig. 3).")
-    Term.(const (fun () -> run) $ setup_logs $ seed_arg $ samples_arg 50_000 $ payload $ attach)
+    Term.(
+      const (fun () -> run) $ setup_logs $ seed_arg $ samples_arg 50_000 $ payload $ attach
+      $ metrics_arg $ metrics_interval_arg)
 
 (* --- compare -------------------------------------------------------------- *)
 
@@ -93,12 +129,20 @@ let compare_cmd =
 (* --- failover -------------------------------------------------------------- *)
 
 let failover_cmd =
-  let run seed rounds trace_file =
+  let run seed rounds trace_file metrics_file interval =
     let tracer = Option.map (fun _ -> Trace.Tracer.create ()) trace_file in
-    let r = Workload.Experiments.failover (setup_of ?trace:tracer seed) ~rounds in
+    let sampler = make_sampler metrics_file interval in
+    let r =
+      Workload.Experiments.failover (setup_of ?trace:tracer ?metrics:sampler seed) ~rounds
+    in
     pp_result "total fail-over" r.Workload.Experiments.total;
     pp_result "  detection" r.Workload.Experiments.detection;
     pp_result "  permission switch" r.Workload.Experiments.switch;
+    export_metrics sampler metrics_file;
+    (match sampler with
+    | Some smp ->
+      Fmt.pr "%s" (Telemetry.Dashboard.score_timeline smp)
+    | None -> ());
     let rng = Sim.Rng.create (Int64.of_int seed) in
     Fmt.pr "prior systems (modelled): HovercRaft %.1f ms, DARE %.1f ms, Hermes %.1f ms@."
       (Baselines.Failover_model.sample_us Baselines.Failover_model.hovercraft rng /. 1000.0)
@@ -123,7 +167,9 @@ let failover_cmd =
   in
   Cmd.v
     (Cmd.info "failover" ~doc:"Measure fail-over time across repeated leader failures (Fig. 6).")
-    Term.(const (fun () -> run) $ setup_logs $ seed_arg $ rounds $ trace)
+    Term.(
+      const (fun () -> run) $ setup_logs $ seed_arg $ rounds $ trace $ metrics_arg
+      $ metrics_interval_arg)
 
 (* --- metrics ------------------------------------------------------------------ *)
 
@@ -224,9 +270,48 @@ let detectors_cmd =
        ~doc:"Compare pull-score failure detection against push heartbeats (§5.1).")
     Term.(const run $ seed_arg)
 
+(* --- report ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let run seed samples rounds interval metrics_file =
+    (* One sampler shared across both experiments so the dashboard shows
+       replication latency and the fail-over score timeline side by side. *)
+    let sampler = Telemetry.Sampler.create (Telemetry.Registry.create ()) ~interval in
+    let setup = setup_of ~metrics:sampler seed in
+    let lat =
+      Workload.Experiments.mu_replication_latency setup ~samples ~payload:64
+        ~attach:Mu.Config.Standalone
+    in
+    let r = Workload.Experiments.failover setup ~rounds in
+    pp_result "Mu 64B replication" lat;
+    pp_result "total fail-over" r.Workload.Experiments.total;
+    Fmt.pr "@.%s"
+      (Telemetry.Dashboard.render ~sampler (Telemetry.Sampler.registry sampler));
+    export_metrics (Some sampler) metrics_file
+  in
+  let rounds =
+    Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N" ~doc:"Leader failures to inject.")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt int 20_000
+      & info [ "metrics-interval" ] ~docv:"NS"
+          ~doc:"Virtual-time sampling interval for the score timeline.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a replication-latency + fail-over workload and render a replica health \
+          dashboard (latency percentiles, fail-over phase breakdown, score timeline).")
+    Term.(
+      const (fun () -> run) $ setup_logs $ seed_arg $ samples_arg 20_000 $ rounds $ interval
+      $ metrics_arg)
+
 let () =
   let doc = "Experiments with Mu: microsecond consensus on a simulated RDMA fabric." in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "mu_demo" ~doc)
-          [ latency_cmd; compare_cmd; failover_cmd; throughput_cmd; detectors_cmd; metrics_cmd ]))
+          [ latency_cmd; compare_cmd; failover_cmd; throughput_cmd; detectors_cmd;
+            metrics_cmd; report_cmd ]))

@@ -89,4 +89,4 @@ let create (c : Common.t) =
     done;
     dt
   in
-  { Common.name = "APUS"; replicate }
+  Common.with_telemetry c { Common.name = "APUS"; replicate }

@@ -65,3 +65,24 @@ let await_successes t ~node ~count =
   done
 
 type engine = { name : string; replicate : Bytes.t -> int }
+
+(* When the simulation engine carries a metrics registry, wrap replicate
+   so every measured span also lands in the shared
+   baseline_replication_latency_ns histogram, making baselines directly
+   comparable with Mu's mu_replication_latency_ns in one export. *)
+let with_telemetry t e =
+  match Sim.Engine.metrics t.engine with
+  | None -> e
+  | Some reg ->
+    let h =
+      Telemetry.Registry.histogram reg ~help:"Baseline replication latency"
+        ~labels:[ ("system", e.name) ] "baseline_replication_latency_ns"
+    in
+    {
+      e with
+      replicate =
+        (fun payload ->
+          let ns = e.replicate payload in
+          Telemetry.Hdr.record h ns;
+          ns);
+    }

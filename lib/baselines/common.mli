@@ -30,3 +30,8 @@ val await_successes : t -> node:int -> count:int -> unit
 (** A baseline replication engine: returns the measured replication span
     (ns) for one request. *)
 type engine = { name : string; replicate : Bytes.t -> int }
+
+val with_telemetry : t -> engine -> engine
+(** If the cluster's simulation engine has a metrics registry attached,
+    wrap [replicate] to record each span into
+    [baseline_replication_latency_ns{system}]. Identity otherwise. *)

@@ -36,4 +36,4 @@ let create (c : Common.t) =
     round ptr commit_off;
     Sim.Engine.now c.Common.engine - t0
   in
-  { Common.name = "DARE"; replicate }
+  Common.with_telemetry c { Common.name = "DARE"; replicate }

@@ -57,4 +57,4 @@ let create (c : Common.t) =
     Common.await_successes c ~node:0 ~count:(2 * List.length members);
     dt
   in
-  { Common.name = "Hermes"; replicate }
+  Common.with_telemetry c { Common.name = "Hermes"; replicate }

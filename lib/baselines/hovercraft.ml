@@ -13,4 +13,4 @@ let create (c : Common.t) =
     Sim.Host.idle c.Common.hosts.(0) dt;
     dt
   in
-  { Common.name = "HovercRaft"; replicate }
+  Common.with_telemetry c { Common.name = "HovercRaft"; replicate }

@@ -76,6 +76,9 @@ let monitor_fiber t (p : Replica.peer) =
       in
       let score = clamp c (if advanced then score + 1 else score - 1) in
       Hashtbl.replace t.Replica.scores p.Replica.pid score;
+      (match t.Replica.tel with
+      | Some tel -> Telem.set_score tel ~peer:p.Replica.pid score
+      | None -> ());
       let alive = Option.value (Hashtbl.find_opt t.Replica.alive p.Replica.pid) ~default:true in
       let e = Replica.engine t in
       let flip verdict name =
@@ -111,6 +114,7 @@ let role_fiber t ~on_role_change =
       | Replica.Follower, true ->
         t.Replica.role <- Replica.Leader;
         t.Replica.role_generation <- t.Replica.role_generation + 1;
+        (match t.Replica.tel with Some tel -> Telem.election tel | None -> ());
         t.Replica.need_new_followers <- true;
         L.info (fun m ->
             m "t=%dns replica %d becomes leader (gen %d)"
@@ -125,6 +129,7 @@ let role_fiber t ~on_role_change =
       | Replica.Leader, false ->
         t.Replica.role <- Replica.Follower;
         t.Replica.role_generation <- t.Replica.role_generation + 1;
+        (match t.Replica.tel with Some tel -> Telem.demotion tel | None -> ());
         L.info (fun m ->
             m "t=%dns replica %d demoted (leader estimate %d)"
               (Sim.Engine.now (Replica.engine t))

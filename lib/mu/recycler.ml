@@ -65,7 +65,8 @@ let recycle_once t =
       ~args:[ ("slots", string_of_int count) ]
       "recycle"
       (fun () -> zero_ranges t ~from_idx:t.Replica.zeroed_up_to ~to_idx:min_head);
-    t.Replica.zeroed_up_to <- min_head
+    t.Replica.zeroed_up_to <- min_head;
+    match t.Replica.tel with Some tel -> Telem.recycle tel min_head | None -> ()
   end
 
 let start t =

@@ -43,6 +43,7 @@ type t = {
   mutable on_commit : int -> bytes -> unit;
   mutable zeroed_up_to : int;
   metrics : Metrics.t;
+  tel : Telem.t option;
   mutable removed : bool;
   mutable stop : bool;
 }
@@ -103,6 +104,7 @@ let create_unwired eng calib config ~id =
     on_commit = (fun _ _ -> ());
     zeroed_up_to = 0;
     metrics = Metrics.create ();
+    tel = Telem.of_engine eng ~id;
     removed = false;
     stop = false;
   }

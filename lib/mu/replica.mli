@@ -64,6 +64,7 @@ type t = {
   mutable on_commit : int -> bytes -> unit;
   mutable zeroed_up_to : int;  (** Recycling low-water mark (§5.3). *)
   metrics : Metrics.t;  (** Operation counters for observability. *)
+  tel : Telem.t option;  (** Registry-backed telemetry; [None] when off. *)
   mutable removed : bool;  (** Membership: removed from the group (§5.4). *)
   mutable stop : bool;  (** Shut this replica's fibers down. *)
 }

@@ -413,13 +413,23 @@ let propose t value =
         in
         let v = match adopted with Some v -> v | None -> value in
         accept_phase t ~prop_num ~value:v ~idx;
+        let e = Replica.engine t in
+        let commit_t0 = Sim.Engine.now e in
         tspan t "commit" (fun () ->
             Log.set_fuo t.Replica.log (idx + 1);
             Replica.apply_committed t);
-        let e = Replica.engine t in
+        (match t.Replica.tel with
+        | Some tel ->
+          Telem.commit_ns tel (Sim.Engine.now e - commit_t0);
+          Telem.commit_fuo tel (idx + 1)
+        | None -> ());
         if Sim.Engine.traced e then
           Sim.Engine.trace_counter e ~cat:"mu" ~pid:t.Replica.id "fuo" ~value:(idx + 1);
         if adopted = None then committed_at := idx
       done;
       t.Replica.metrics.Metrics.commits <- t.Replica.metrics.Metrics.commits + 1;
+      (match t.Replica.tel, t.Replica.propose_started_at with
+      | Some tel, Some t0 ->
+        Telem.replication_ns tel (Sim.Engine.now (Replica.engine t) - t0)
+      | _ -> ());
       !committed_at)

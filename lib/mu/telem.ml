@@ -1,0 +1,66 @@
+(* Per-replica telemetry handles, resolved once at replica creation.
+   Every call is a no-op record update on pre-resolved instruments; the
+   option check happens at the replica's call site. *)
+
+type t = {
+  reg : Telemetry.Registry.t;
+  id : int;
+  replication : Telemetry.Hdr.t;
+  commit : Telemetry.Hdr.t;
+  elections : Telemetry.Registry.counter;
+  demotions : Telemetry.Registry.counter;
+  fuo : Telemetry.Registry.gauge;
+  watermark : Telemetry.Registry.gauge;
+  (* mu_score gauges are per (replica, peer); peers are discovered as
+     the failure detector first reads them. *)
+  score_gauges : (int, Telemetry.Registry.gauge) Hashtbl.t;
+}
+
+let create reg ~id =
+  let labels = [ ("replica", string_of_int id) ] in
+  {
+    reg;
+    id;
+    replication =
+      Telemetry.Registry.histogram reg ~help:"Client-visible replication latency" ~labels
+        "mu_replication_latency_ns";
+    commit =
+      Telemetry.Registry.histogram reg ~help:"Leader commit (quorum write) latency" ~labels
+        "mu_commit_apply_ns";
+    elections =
+      Telemetry.Registry.counter reg ~help:"Follower-to-leader transitions" ~labels
+        "mu_elections_total";
+    demotions =
+      Telemetry.Registry.counter reg ~help:"Leader-to-follower transitions" ~labels
+        "mu_demotions_total";
+    fuo = Telemetry.Registry.gauge reg ~help:"First undecided offset" ~labels "mu_fuo";
+    watermark =
+      Telemetry.Registry.gauge reg ~help:"Log slots zeroed by the recycler" ~labels
+        "mu_recycle_watermark";
+    score_gauges = Hashtbl.create 8;
+  }
+
+let of_engine eng ~id =
+  match Sim.Engine.metrics eng with None -> None | Some reg -> Some (create reg ~id)
+
+let set_score t ~peer v =
+  let g =
+    match Hashtbl.find_opt t.score_gauges peer with
+    | Some g -> g
+    | None ->
+      let g =
+        Telemetry.Registry.gauge t.reg ~help:"Pull-score of a peer as seen by this replica"
+          ~labels:[ ("peer", string_of_int peer); ("replica", string_of_int t.id) ]
+          "mu_score"
+      in
+      Hashtbl.replace t.score_gauges peer g;
+      g
+  in
+  Telemetry.Registry.Gauge.set g v
+
+let election t = Telemetry.Registry.Counter.inc t.elections
+let demotion t = Telemetry.Registry.Counter.inc t.demotions
+let commit_fuo t v = Telemetry.Registry.Gauge.set t.fuo v
+let recycle t v = Telemetry.Registry.Gauge.set t.watermark v
+let replication_ns t ns = Telemetry.Hdr.record t.replication ns
+let commit_ns t ns = Telemetry.Hdr.record t.commit ns

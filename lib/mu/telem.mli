@@ -1,0 +1,24 @@
+(** Per-replica telemetry handles.
+
+    A replica resolves its instruments once at creation (when the
+    engine has a registry attached — see {!Sim.Engine.set_metrics});
+    protocol code then updates them through the functions below, each a
+    direct field update with no registry lookup. With telemetry off the
+    replica holds [None] and every instrumented site is one option
+    check. *)
+
+type t
+
+val create : Telemetry.Registry.t -> id:int -> t
+val of_engine : Sim.Engine.t -> id:int -> t option
+
+val set_score : t -> peer:int -> int -> unit
+(** Update [mu_score{replica,peer}] — the pull-score this replica's
+    failure detector assigns to [peer]. *)
+
+val election : t -> unit
+val demotion : t -> unit
+val commit_fuo : t -> int -> unit
+val recycle : t -> int -> unit
+val replication_ns : t -> int -> unit
+val commit_ns : t -> int -> unit

@@ -4,8 +4,23 @@ let span qp name f =
   let host = Qp.host qp in
   Sim.Engine.trace_span (Sim.Host.engine host) ~cat:"rdma" ~pid:(Sim.Host.id host) name f
 
+(* Wrap [f] so its virtual-time duration lands in
+   rdma_perm_switch_ns{path}. One option check when telemetry is off. *)
+let timed host ~path f =
+  let e = Sim.Host.engine host in
+  match Sim.Engine.metrics e with
+  | None -> f ()
+  | Some reg ->
+    let h =
+      Telemetry.Registry.histogram reg ~help:"Permission switch latency by mechanism"
+        ~labels:[ ("path", path) ] "rdma_perm_switch_ns"
+    in
+    let t0 = Sim.Engine.now e in
+    Fun.protect ~finally:(fun () -> Telemetry.Hdr.record h (Sim.Engine.now e - t0)) f
+
 let change_qp_flags qp access =
   span qp "perm_flags" (fun () ->
+      timed (Qp.host qp) ~path:"flags" @@ fun () ->
       let host = Qp.host qp in
       let c = cal qp in
       let hazardous =
@@ -24,6 +39,7 @@ let change_qp_flags qp access =
 
 let restart_qp qp access =
   span qp "perm_restart" (fun () ->
+      timed (Qp.host qp) ~path:"restart" @@ fun () ->
       let host = Qp.host qp in
       let c = cal qp in
       (* The QP is torn down first, so operations arriving during the cycle are
@@ -38,6 +54,7 @@ let rereg_mr mr access =
   let host = Mr.host mr in
   Sim.Engine.trace_span (Sim.Host.engine host) ~cat:"rdma" ~pid:(Sim.Host.id host) "mr_rereg"
     (fun () ->
+      timed host ~path:"mr_rereg" @@ fun () ->
       let c = Sim.Host.calibration host in
       let d = Sim.Calibration.mr_rereg_time c ~bytes:(Mr.size mr) in
       Sim.Host.cpu host (Sim.Distribution.sample_ns d (Sim.Host.rng host));

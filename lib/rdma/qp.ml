@@ -7,9 +7,18 @@ type recv = { rwr_id : int; rdst : Bytes.t; rdst_off : int; rmax_len : int }
    requester NIC retries (RNR-NAK) until the responder posts a buffer. *)
 type pending_send = { payload : Bytes.t; complete : arrived_at:int -> len:int -> unit }
 
+(* Telemetry handles, per-host labels (one instrument shared by all of a
+   host's QPs — per-QP labels would explode cardinality). *)
+type qp_tel = {
+  posted : Telemetry.Registry.counter;
+  completed : Telemetry.Registry.counter;
+  outstanding_g : Telemetry.Registry.gauge;
+}
+
 type t = {
   host : Sim.Host.t;
   cq : Cq.t;
+  tel : qp_tel option;
   mutable peer : t option;
   mutable state : Verbs.qp_state;
   mutable acc : Verbs.access;
@@ -22,9 +31,25 @@ type t = {
 }
 
 let create host ~cq =
+  let tel =
+    match Sim.Engine.metrics (Sim.Host.engine host) with
+    | None -> None
+    | Some reg ->
+      let labels = [ ("host", Sim.Host.name host) ] in
+      Some
+        {
+          posted = Telemetry.Registry.counter reg ~help:"Work requests posted" ~labels
+              "rdma_wr_posted_total";
+          completed = Telemetry.Registry.counter reg ~help:"Work completions delivered" ~labels
+              "rdma_wr_completed_total";
+          outstanding_g = Telemetry.Registry.gauge reg ~help:"Posted-but-uncompleted WRs" ~labels
+              "rdma_wr_outstanding";
+        }
+  in
   {
     host;
     cq;
+    tel;
     peer = None;
     state = Verbs.Reset;
     acc = Verbs.access_none;
@@ -71,6 +96,20 @@ let outstanding t = t.outstanding
 let link_up t = t.link.up
 let set_link_up t up = t.link.up <- up
 
+let tel_post t =
+  match t.tel with
+  | None -> ()
+  | Some m ->
+    Telemetry.Registry.Counter.inc m.posted;
+    Telemetry.Registry.Gauge.add m.outstanding_g 1
+
+let tel_complete t =
+  match t.tel with
+  | None -> ()
+  | Some m ->
+    Telemetry.Registry.Counter.inc m.completed;
+    Telemetry.Registry.Gauge.add m.outstanding_g (-1)
+
 let kind_name = function
   | `Write -> "write"
   | `Read -> "read"
@@ -105,6 +144,7 @@ let deliver_completion t ~at ~wr_id ~kind ~status ?(byte_len = 0) ~before () =
   let at = completion_time t at in
   Sim.Engine.schedule (engine t) ~at (fun () ->
       t.outstanding <- t.outstanding - 1;
+      tel_complete t;
       let e = engine t in
       if Sim.Engine.traced e then
         Sim.Engine.trace_async_end e ~cat:"rdma" ~pid:(Sim.Host.id t.host)
@@ -150,6 +190,7 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
   let c = cal t in
   Sim.Host.cpu t.host c.Sim.Calibration.wr_post;
   t.outstanding <- t.outstanding + 1;
+  tel_post t;
   trace_post t ~wr_id ~kind ~len:payload_out;
   match t.state, t.peer with
   | Verbs.Rts, Some resp when Mr.host mr == resp.host ->
@@ -266,6 +307,7 @@ let post_send t ~wr_id ~src ~src_off ~len =
   let c = cal t in
   Sim.Host.cpu t.host c.Sim.Calibration.wr_post;
   t.outstanding <- t.outstanding + 1;
+  tel_post t;
   trace_post t ~wr_id ~kind:`Send ~len;
   match t.state, t.peer with
   | Verbs.Rts, Some resp ->

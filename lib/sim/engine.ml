@@ -9,6 +9,12 @@ type t = {
   mutable next_fiber : int;
   mutable cur_fiber : int;
   mutable cur_pid : int;
+  (* Telemetry: absent by default, so instrumented sites cost one option
+     check. Handles are resolved once in [set_metrics]. *)
+  mutable reg : Telemetry.Registry.t option;
+  mutable tel_events : Telemetry.Registry.counter option;
+  mutable tel_depth : Telemetry.Registry.gauge option;
+  mutable tel_fibers : Telemetry.Registry.counter option;
 }
 
 exception Fiber_crash of string * exn
@@ -31,11 +37,28 @@ let create ?(seed = 1L) () =
     next_fiber = 0;
     cur_fiber = 0;
     cur_pid = -1;
+    reg = None;
+    tel_events = None;
+    tel_depth = None;
+    tel_fibers = None;
   }
 
 let now t = t.now
 let rng t = t.root_rng
 let pending_events t = Heap.length t.events
+
+(* Telemetry ------------------------------------------------------------ *)
+
+let set_metrics t reg =
+  t.reg <- Some reg;
+  t.tel_events <-
+    Some (Telemetry.Registry.counter reg ~help:"Events executed by the engine" "sim_events_total");
+  t.tel_depth <-
+    Some (Telemetry.Registry.gauge reg ~help:"Pending events in the queue" "sim_event_queue_depth");
+  t.tel_fibers <-
+    Some (Telemetry.Registry.counter reg ~help:"Fibers spawned" "sim_fibers_spawned_total")
+
+let metrics t = t.reg
 
 (* Tracing ------------------------------------------------------------- *)
 
@@ -103,6 +126,7 @@ let suspend register = Effect.perform (Suspend register)
 
 let spawn t ?(name = "fiber") ?(pid = -1) f =
   t.next_fiber <- t.next_fiber + 1;
+  (match t.tel_fibers with Some c -> Telemetry.Registry.Counter.inc c | None -> ());
   let fid = t.next_fiber in
   if traced t then begin
     trace_meta_thread t ~pid ~tid:fid name;
@@ -166,6 +190,13 @@ let run ?until t =
         | None -> ()
         | Some thunk ->
           t.now <- at;
+          (match t.tel_events with
+          | Some c ->
+            Telemetry.Registry.Counter.inc c;
+            (match t.tel_depth with
+            | Some g -> Telemetry.Registry.Gauge.set g (Heap.length t.events)
+            | None -> ())
+          | None -> ());
           thunk ();
           loop ())
   in

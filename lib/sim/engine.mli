@@ -46,6 +46,19 @@ val halt : t -> unit
 
 val pending_events : t -> int
 
+(** {1 Telemetry}
+
+    Like tracing, telemetry is opt-in: with no registry attached every
+    instrumented site in the engine (and in components that consult
+    {!metrics} at creation time) costs a single option check. *)
+
+val set_metrics : t -> Telemetry.Registry.t -> unit
+(** Attach a metrics registry. The engine registers [sim_events_total],
+    [sim_event_queue_depth] and [sim_fibers_spawned_total]; components
+    created afterwards resolve their own instruments via {!metrics}. *)
+
+val metrics : t -> Telemetry.Registry.t option
+
 (** {1 Tracing}
 
     Every engine owns a {!Probe.t}. With no sink installed (the default),

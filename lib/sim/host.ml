@@ -10,6 +10,7 @@ type t = {
   mutable resume_gate : unit Engine.Ivar.ivar;
   mutable cpu_since_jitter : int;
   mutable next_jitter_at : int;
+  tel_jitter : Telemetry.Hdr.t option;
 }
 
 let schedule_next_jitter t =
@@ -30,6 +31,13 @@ let create engine calibration ~id ~name =
       resume_gate = Engine.Ivar.create engine;
       cpu_since_jitter = 0;
       next_jitter_at = max_int;
+      tel_jitter =
+        (match Engine.metrics engine with
+        | Some reg ->
+          Some
+            (Telemetry.Registry.histogram reg ~help:"Scheduling jitter injected into cpu()"
+               ~labels:[ ("host", name) ] "sim_sched_jitter_ns")
+        | None -> None);
     }
   in
   schedule_next_jitter t;
@@ -66,6 +74,7 @@ let cpu t ns =
     t.cpu_since_jitter <- 0;
     schedule_next_jitter t;
     let jitter = Distribution.sample_ns t.calibration.Calibration.cpu_jitter t.rng in
+    (match t.tel_jitter with Some h -> Telemetry.Hdr.record h jitter | None -> ());
     if Engine.traced t.engine then
       Engine.trace_instant t.engine ~pid:t.id
         ~args:[ ("ns", string_of_int jitter) ]

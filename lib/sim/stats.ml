@@ -68,6 +68,42 @@ module Samples = struct
 
   let median t = percentile t 50.0
 
+  let percentile_opt t p =
+    if t.size = 0 || p < 0.0 || p > 100.0 then None else Some (percentile t p)
+
+  (* Linear-interpolation quantile (type 7, the R/numpy default): exact
+     order statistics at h = q*(n-1) integral, interpolated between the
+     surrounding samples otherwise. q=0 is the min, q=1 the max, and a
+     single sample answers every q. *)
+  let quantile_opt t q =
+    if t.size = 0 || q < 0.0 || q > 1.0 || Float.is_nan q then None
+    else begin
+      let s = sorted t in
+      let n = t.size in
+      if n = 1 then Some (float_of_int s.(0))
+      else begin
+        let h = q *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor h) in
+        let lo = Stdlib.max 0 (Stdlib.min (n - 2) lo) in
+        let frac = h -. float_of_int lo in
+        Some (float_of_int s.(lo) +. (frac *. float_of_int (s.(lo + 1) - s.(lo))))
+      end
+    end
+
+  let median_opt t = percentile_opt t 50.0
+  let min_opt t = if t.size = 0 then None else Some (sorted t).(0)
+  let max_opt t = if t.size = 0 then None else Some (sorted t).(t.size - 1)
+
+  let mean_opt t =
+    if t.size = 0 then None
+    else begin
+      let sum = ref 0.0 in
+      for i = 0 to t.size - 1 do
+        sum := !sum +. float_of_int t.data.(i)
+      done;
+      Some (!sum /. float_of_int t.size)
+    end
+
   let mean t =
     if t.size = 0 then invalid_arg "Samples.mean: empty";
     let sum = ref 0.0 in

@@ -31,6 +31,21 @@ module Samples : sig
   (** [percentile t p] with [p] in [0, 100]; nearest-rank on the sorted
       samples. Raises [Invalid_argument] if empty. *)
 
+  val percentile_opt : t -> float -> int option
+  (** Total variant of {!percentile}: [None] when empty or [p] is outside
+      [0, 100]. *)
+
+  val quantile_opt : t -> float -> float option
+  (** [quantile_opt t q] with [q] in [0, 1]; linear interpolation between
+      order statistics (R type 7). [q = 0.] is the minimum, [q = 1.] the
+      maximum, and a single sample answers every [q] with itself. [None]
+      when empty or [q] is outside [0, 1] (including NaN). *)
+
+  val median_opt : t -> int option
+  val mean_opt : t -> float option
+  val min_opt : t -> int option
+  val max_opt : t -> int option
+
   val median : t -> int
   val mean : t -> float
   val min : t -> int

@@ -1,0 +1,194 @@
+(* Text dashboard: percentile tables, fail-over phase breakdown, and an
+   ASCII score timeline showing follower pull-scores crossing the
+   fail (<2) and recover (>6) thresholds during fail-over. *)
+
+let default_fail = 2
+let default_recover = 6
+
+let ns_to_us v = float_of_int v /. 1_000.0
+
+let label_string labels =
+  if labels = [] then "-"
+  else String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let histograms ?prefix reg =
+  List.filter_map
+    (fun (m : Registry.metric) ->
+      match m.kind with
+      | Registry.Histogram h ->
+        let keep =
+          match prefix with
+          | None -> true
+          | Some p ->
+            String.length m.name >= String.length p
+            && String.sub m.name 0 (String.length p) = p
+        in
+        if keep && Hdr.count h > 0 then Some (m, h) else None
+      | _ -> None)
+    (Registry.metrics reg)
+
+let is_ns (m : Registry.metric) =
+  let n = m.name in
+  String.length n > 3 && String.sub n (String.length n - 3) 3 = "_ns"
+
+let percentile_table ?prefix reg =
+  let hs = histograms ?prefix reg in
+  if hs = [] then ""
+  else begin
+    let b = Buffer.create 1024 in
+    let cell h q =
+      match Hdr.quantile h q with Some v -> Printf.sprintf "%10.2f" (ns_to_us v) | None -> "         -"
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%-34s %-22s %8s %10s %10s %10s %10s\n" "histogram (us)" "labels" "count"
+         "p50" "p90" "p99" "p99.9");
+    List.iter
+      (fun ((m : Registry.metric), h) ->
+        if is_ns m then
+          Buffer.add_string b
+            (Printf.sprintf "%-34s %-22s %8d %s %s %s %s\n" m.name (label_string m.labels)
+               (Hdr.count h) (cell h 0.5) (cell h 0.9) (cell h 0.99) (cell h 0.999)))
+      hs;
+    Buffer.contents b
+  end
+
+let failover_breakdown reg =
+  let phases =
+    [ ("failover_total_ns", "total"); ("failover_detection_ns", "detection");
+      ("failover_switch_ns", "perm_switch") ]
+  in
+  let get name =
+    List.find_map
+      (fun ((m : Registry.metric), h) -> if m.name = name then Some h else None)
+      (histograms reg)
+  in
+  match get "failover_total_ns" with
+  | None -> ""
+  | Some total_h ->
+    let total_med = match Hdr.quantile total_h 0.5 with Some v -> v | None -> 0 in
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      (Printf.sprintf "%-14s %8s %12s %12s %8s\n" "phase" "rounds" "median(us)" "p99(us)" "share");
+    List.iter
+      (fun (name, label) ->
+        match get name with
+        | None -> ()
+        | Some h ->
+          let med = match Hdr.quantile h 0.5 with Some v -> v | None -> 0 in
+          let p99 = match Hdr.quantile h 0.99 with Some v -> v | None -> 0 in
+          let share =
+            if total_med > 0 then
+              Printf.sprintf "%6.1f%%" (100.0 *. float_of_int med /. float_of_int total_med)
+            else "      -"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%-14s %8d %12.2f %12.2f %8s\n" label (Hdr.count h) (ns_to_us med)
+               (ns_to_us p99) share))
+      phases;
+    Buffer.contents b
+
+(* --- score timeline ------------------------------------------------------ *)
+
+(* One row per (replica, peer, epoch) score series that actually moved.
+   Points are downsampled to [width] columns taking the minimum in each
+   window (the interesting excursion is downward), rendered as one hex
+   digit per column (scores are 0..15). *)
+
+let score_series sampler =
+  List.filter_map
+    (fun ((m : Registry.metric), epochs) ->
+      if m.name = "mu_score" then Some (m, epochs) else None)
+    (Sampler.series sampler)
+
+let moved fail recover pts =
+  Array.exists (fun (_, v) -> v < float_of_int fail) pts
+  && Array.exists (fun (_, v) -> v > float_of_int recover) pts
+
+let downsample width pts =
+  let n = Array.length pts in
+  if n = 0 then [||]
+  else if n <= width then Array.copy pts
+  else
+    Array.init width (fun c ->
+        let lo = c * n / width and hi = ((c + 1) * n / width) - 1 in
+        let hi = max lo hi in
+        let best = ref pts.(lo) in
+        for i = lo + 1 to hi do
+          if snd pts.(i) < snd !best then best := pts.(i)
+        done;
+        !best)
+
+let glyph v =
+  let i = max 0 (min 15 (int_of_float (Float.round v))) in
+  "0123456789abcdef".[i]
+
+let first_crossing ~below pts threshold =
+  let t = float_of_int threshold in
+  let r = ref None in
+  Array.iter
+    (fun (ts, v) ->
+      if !r = None && (if below then v < t else v > t) then r := Some ts)
+    pts;
+  !r
+
+let fail_recover_pair ~fail ~recover pts =
+  match first_crossing ~below:true pts fail with
+  | None -> None
+  | Some t_fail ->
+    let after = Array.of_seq (Seq.filter (fun (ts, _) -> ts >= t_fail) (Array.to_seq pts)) in
+    (match first_crossing ~below:false after recover with
+    | None -> None
+    | Some t_rec -> Some (t_fail, t_rec))
+
+let has_fail_recover_crossing ?(fail = default_fail) ?(recover = default_recover) sampler =
+  List.exists
+    (fun (_, epochs) ->
+      List.exists (fun (_, pts) -> fail_recover_pair ~fail ~recover pts <> None) epochs)
+    (score_series sampler)
+
+let score_timeline ?(width = 64) ?(fail = default_fail) ?(recover = default_recover) sampler =
+  let rows =
+    List.concat_map
+      (fun ((m : Registry.metric), epochs) ->
+        List.filter_map
+          (fun (eid, pts) ->
+            if moved fail recover pts then Some (m, eid, pts) else None)
+          epochs)
+      (score_series sampler)
+  in
+  if rows = [] then ""
+  else begin
+    let b = Buffer.create 2048 in
+    Buffer.add_string b
+      (Printf.sprintf "score timeline (hex 0-f per column; fail <%d, recover >%d)\n" fail recover);
+    List.iter
+      (fun ((m : Registry.metric), eid, pts) ->
+        let ds = downsample width pts in
+        let line = String.init (Array.length ds) (fun i -> glyph (snd ds.(i))) in
+        let annot =
+          match fail_recover_pair ~fail ~recover pts with
+          | Some (t_fail, t_rec) ->
+            Printf.sprintf "  fail@%.1fus recover@%.1fus" (ns_to_us t_fail) (ns_to_us t_rec)
+          | None -> ""
+        in
+        Buffer.add_string b
+          (Printf.sprintf "  %-22s e%-3d |%s|%s\n" (label_string m.labels) eid line annot))
+      rows;
+    Buffer.contents b
+  end
+
+let render ?sampler reg =
+  let b = Buffer.create 4096 in
+  let section title body =
+    if body <> "" then begin
+      Buffer.add_string b ("== " ^ title ^ " ==\n");
+      Buffer.add_string b body;
+      Buffer.add_char b '\n'
+    end
+  in
+  section "latency percentiles" (percentile_table reg);
+  section "fail-over breakdown" (failover_breakdown reg);
+  (match sampler with
+  | Some s -> section "failure-detector scores" (score_timeline s)
+  | None -> ());
+  if Buffer.length b = 0 then "(no telemetry recorded)\n" else Buffer.contents b

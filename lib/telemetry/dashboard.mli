@@ -1,0 +1,29 @@
+(** Text dashboard over a {!Registry.t} and optional {!Sampler.t}.
+
+    Renders the latency percentile table (p50/p90/p99/p99.9, in
+    microseconds, for [_ns]-suffixed histograms), the fail-over phase
+    breakdown (total / detection / permission-switch medians and
+    shares), and an ASCII timeline of follower pull-scores showing the
+    crossing below the fail threshold and back above the recover
+    threshold. *)
+
+val percentile_table : ?prefix:string -> Registry.t -> string
+(** One row per non-empty [_ns] histogram (optionally filtered by name
+    prefix); empty string if there are none. *)
+
+val failover_breakdown : Registry.t -> string
+(** Median/p99 and share-of-total for the [failover_*_ns] histograms;
+    empty string if no fail-over ran. *)
+
+val score_timeline : ?width:int -> ?fail:int -> ?recover:int -> Sampler.t -> string
+(** One row per (replica, peer, epoch) [mu_score] series that crossed
+    below [fail] (default 2); scores render as one hex digit (0-f) per
+    column, min-in-window downsampled to [width] (default 64) columns,
+    annotated with the first fail and recover crossing times. *)
+
+val has_fail_recover_crossing : ?fail:int -> ?recover:int -> Sampler.t -> bool
+(** True iff some [mu_score] series drops below [fail] and later rises
+    above [recover] — the acceptance check for a detected fail-over. *)
+
+val render : ?sampler:Sampler.t -> Registry.t -> string
+(** All sections that have data, or a placeholder line if none do. *)

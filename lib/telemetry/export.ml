@@ -1,0 +1,242 @@
+(* Exporters. Everything iterates in Registry/Sampler's canonical sorted
+   order and formats numbers through one deterministic path, so two runs
+   with equal seeds produce byte-identical files — CI diffs them. *)
+
+let quantiles = [ (0.5, "0.5"); (0.9, "0.9"); (0.99, "0.99"); (0.999, "0.999") ]
+
+(* Integral floats print as ints (counts, ns values); everything else
+   with fixed precision. Never locale- or platform-dependent. *)
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+(* --- Prometheus text format -------------------------------------------- *)
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels ?extra labels =
+  let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels)
+    ^ "}"
+
+let prometheus reg =
+  let b = Buffer.create 4096 in
+  let last_header = ref "" in
+  List.iter
+    (fun (m : Registry.metric) ->
+      if m.name <> !last_header then begin
+        last_header := m.name;
+        if m.help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+        let ty =
+          match m.kind with
+          | Registry.Counter _ -> "counter"
+          | Registry.Gauge _ -> "gauge"
+          | Registry.Histogram _ -> "histogram"
+        in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" m.name ty)
+      end;
+      match m.kind with
+      | Registry.Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" m.name (prom_labels m.labels) (Registry.Counter.value c))
+      | Registry.Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" m.name (prom_labels m.labels) (Registry.Gauge.value g))
+      | Registry.Histogram h ->
+        let cum = ref 0 in
+        Hdr.iter_buckets h (fun ~lo:_ ~hi ~count ->
+            cum := !cum + count;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" m.name
+                 (prom_labels m.labels ~extra:("le", string_of_int hi))
+                 !cum));
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" m.name
+             (prom_labels m.labels ~extra:("le", "+Inf"))
+             (Hdr.count h));
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" m.name (prom_labels m.labels) (num (Hdr.sum h)));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" m.name (prom_labels m.labels) (Hdr.count h)))
+    (Registry.metrics reg);
+  Buffer.contents b
+
+(* --- CSV ---------------------------------------------------------------- *)
+
+let csv_labels labels = String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let csv reg =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "metric,labels,kind,field,value\n";
+  let row name labels kind field value =
+    Buffer.add_string b
+      (Printf.sprintf "%s,%s,%s,%s,%s\n" name (csv_labels labels) kind field value)
+  in
+  List.iter
+    (fun (m : Registry.metric) ->
+      match m.kind with
+      | Registry.Counter c ->
+        row m.name m.labels "counter" "value" (string_of_int (Registry.Counter.value c))
+      | Registry.Gauge g ->
+        row m.name m.labels "gauge" "value" (string_of_int (Registry.Gauge.value g))
+      | Registry.Histogram h ->
+        row m.name m.labels "histogram" "count" (string_of_int (Hdr.count h));
+        row m.name m.labels "histogram" "sum" (num (Hdr.sum h));
+        (match Hdr.min_value h with
+        | Some v -> row m.name m.labels "histogram" "min" (string_of_int v)
+        | None -> ());
+        (match Hdr.max_value h with
+        | Some v -> row m.name m.labels "histogram" "max" (string_of_int v)
+        | None -> ());
+        List.iter
+          (fun (q, qs) ->
+            match Hdr.quantile h q with
+            | Some v -> row m.name m.labels "histogram" ("p" ^ qs) (string_of_int v)
+            | None -> ())
+          quantiles)
+    (Registry.metrics reg);
+  Buffer.contents b
+
+let series_csv sampler =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "metric,labels,epoch,t_ns,value\n";
+  List.iter
+    (fun ((m : Registry.metric), epochs) ->
+      List.iter
+        (fun (eid, pts) ->
+          Array.iter
+            (fun (ts, v) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s,%s,%d,%d,%s\n" m.name (csv_labels m.labels) eid ts (num v)))
+            pts)
+        epochs)
+    (Sampler.series sampler);
+  Buffer.contents b
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) labels)
+  ^ "}"
+
+let json ?sampler reg =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"schema\":\"mu-telemetry/1\",\"metrics\":[";
+  let first = ref true in
+  List.iter
+    (fun (m : Registry.metric) ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":\"%s\",\"labels\":%s," (json_escape m.name)
+           (json_labels m.labels));
+      (match m.kind with
+      | Registry.Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "\"kind\":\"counter\",\"value\":%d" (Registry.Counter.value c))
+      | Registry.Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "\"kind\":\"gauge\",\"value\":%d" (Registry.Gauge.value g))
+      | Registry.Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf "\"kind\":\"histogram\",\"count\":%d,\"sum\":%s" (Hdr.count h)
+             (num (Hdr.sum h)));
+        (match Hdr.min_value h, Hdr.max_value h with
+        | Some lo, Some hi -> Buffer.add_string b (Printf.sprintf ",\"min\":%d,\"max\":%d" lo hi)
+        | _ -> ());
+        Buffer.add_string b ",\"quantiles\":{";
+        let qfirst = ref true in
+        List.iter
+          (fun (q, qs) ->
+            match Hdr.quantile h q with
+            | Some v ->
+              if not !qfirst then Buffer.add_char b ',';
+              qfirst := false;
+              Buffer.add_string b (Printf.sprintf "\"%s\":%d" qs v)
+            | None -> ())
+          quantiles;
+        Buffer.add_string b "},\"buckets\":[";
+        let bfirst = ref true in
+        Hdr.iter_buckets h (fun ~lo ~hi ~count ->
+            if not !bfirst then Buffer.add_char b ',';
+            bfirst := false;
+            Buffer.add_string b (Printf.sprintf "[%d,%d,%d]" lo hi count));
+        Buffer.add_char b ']');
+      Buffer.add_char b '}')
+    (Registry.metrics reg);
+  Buffer.add_string b "],\"series\":[";
+  (match sampler with
+  | None -> ()
+  | Some s ->
+    let sfirst = ref true in
+    List.iter
+      (fun ((m : Registry.metric), epochs) ->
+        if not !sfirst then Buffer.add_char b ',';
+        sfirst := false;
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"labels\":%s,\"epochs\":[" (json_escape m.name)
+             (json_labels m.labels));
+        let efirst = ref true in
+        List.iter
+          (fun (eid, pts) ->
+            if not !efirst then Buffer.add_char b ',';
+            efirst := false;
+            Buffer.add_string b (Printf.sprintf "{\"epoch\":%d,\"points\":[" eid);
+            Array.iteri
+              (fun i (ts, v) ->
+                if i > 0 then Buffer.add_char b ',';
+                Buffer.add_string b (Printf.sprintf "[%d,%s]" ts (num v)))
+              pts;
+            Buffer.add_string b "]}")
+          epochs;
+        Buffer.add_string b "]}")
+      (Sampler.series s));
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* --- files --------------------------------------------------------------- *)
+
+let write_string path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+(* Format chosen by extension: .json (metrics + series), .csv (metrics;
+   series land next to it in <base>_series.csv), .prom / .txt
+   (Prometheus text, no series). Anything else gets JSON. *)
+let to_file ?sampler reg path =
+  match String.lowercase_ascii (Filename.extension path) with
+  | ".csv" ->
+    write_string path (csv reg);
+    (match sampler with
+    | Some s -> write_string (Filename.remove_extension path ^ "_series.csv") (series_csv s)
+    | None -> ())
+  | ".prom" | ".txt" -> write_string path (prometheus reg)
+  | _ -> write_string path (json ?sampler reg)

@@ -2,14 +2,32 @@ type setup = {
   seed : int64;
   cal : Sim.Calibration.t;
   trace : Trace.Tracer.t option;
+  metrics : Telemetry.Sampler.t option;
 }
 
-let default_setup = { seed = 42L; cal = Sim.Calibration.default; trace = None }
+let default_setup =
+  { seed = 42L; cal = Sim.Calibration.default; trace = None; metrics = None }
 
-(* Run one simulation to completion of the experiment body. *)
+(* Run one simulation to completion of the experiment body. Each run is a
+   fresh engine (virtual time restarts at 0), so a shared sampler opens a
+   new epoch per run; the sampler fiber ticks on virtual time and dies
+   with the engine. *)
 let run_sim setup ?until f =
   let e = Sim.Engine.create ~seed:setup.seed () in
   (match setup.trace with Some tr -> Trace.Tracer.attach tr e | None -> ());
+  (match setup.metrics with
+  | Some sampler ->
+    Sim.Engine.set_metrics e (Telemetry.Sampler.registry sampler);
+    Telemetry.Sampler.start_epoch sampler;
+    let interval = Telemetry.Sampler.interval sampler in
+    Sim.Engine.spawn e ~name:"telemetry-sampler" (fun () ->
+        let rec loop () =
+          Telemetry.Sampler.tick sampler ~now:(Sim.Engine.now e);
+          Sim.Engine.sleep e interval;
+          loop ()
+        in
+        loop ())
+  | None -> ());
   let result = ref None in
   Sim.Engine.spawn e ~name:"experiment" (fun () ->
       result := Some (f e);
@@ -396,6 +414,19 @@ let failover setup ~rounds =
       let total = Sim.Stats.Samples.create () in
       let detection = Sim.Stats.Samples.create () in
       let switch = Sim.Stats.Samples.create () in
+      (* The same phase decomposition, as registry histograms. *)
+      let tel_hists =
+        match Sim.Engine.metrics e with
+        | None -> None
+        | Some reg ->
+          let h name help =
+            Telemetry.Registry.histogram reg ~help name
+          in
+          Some
+            ( h "failover_total_ns" "Failure injection to new leader serving",
+              h "failover_detection_ns" "Failure injection to new leader elected",
+              h "failover_switch_ns" "Election to confirmed followers ready" )
+      in
       let poll = 2_000 in
       let wait_until pred =
         while not (pred ()) do
@@ -441,6 +472,12 @@ let failover setup ~rounds =
         Sim.Stats.Samples.add total (t_live - t_fail);
         Sim.Stats.Samples.add detection (t_detect - t_fail);
         Sim.Stats.Samples.add switch (t_live - t_detect);
+        (match tel_hists with
+        | Some (ht, hd, hs) ->
+          Telemetry.Hdr.record ht (t_live - t_fail);
+          Telemetry.Hdr.record hd (t_detect - t_fail);
+          Telemetry.Hdr.record hs (t_live - t_detect)
+        | None -> ());
         (* Recovery: the resumed lowest-id replica reclaims leadership. *)
         Sim.Host.resume leader.Mu.Replica.host;
         wait_until (fun () ->

@@ -11,6 +11,12 @@ type setup = {
       (** When set, every engine an experiment creates gets this tracer
           attached; fail-over rounds additionally emit per-phase spans
           under category ["failover"]. *)
+  metrics : Telemetry.Sampler.t option;
+      (** When set, every engine gets the sampler's registry attached
+          ({!Sim.Engine.set_metrics}) and a sampler fiber ticking on
+          virtual time; each experiment run opens a new sampler epoch.
+          Fail-over rounds additionally record [failover_*_ns]
+          histograms. *)
 }
 
 val default_setup : setup

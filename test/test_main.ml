@@ -21,5 +21,6 @@ let () =
       ("invariants", Test_invariants.suite);
       ("misc", Test_misc.suite);
       ("trace", Test_trace.suite);
+      ("telemetry", Test_telemetry.suite);
       ("properties", Test_properties.suite);
     ]

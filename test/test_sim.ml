@@ -152,6 +152,47 @@ let stats_empty_percentile_raises () =
        false
      with Invalid_argument _ -> true)
 
+let stats_option_empty () =
+  let s = Sim.Stats.Samples.create () in
+  Alcotest.(check (option int)) "percentile_opt" None (Sim.Stats.Samples.percentile_opt s 50.0);
+  Alcotest.(check (option (float 0.0))) "quantile_opt" None (Sim.Stats.Samples.quantile_opt s 0.5);
+  Alcotest.(check (option int)) "median_opt" None (Sim.Stats.Samples.median_opt s);
+  Alcotest.(check (option int)) "min_opt" None (Sim.Stats.Samples.min_opt s);
+  Alcotest.(check (option int)) "max_opt" None (Sim.Stats.Samples.max_opt s);
+  Alcotest.(check (option (float 0.0))) "mean_opt" None (Sim.Stats.Samples.mean_opt s)
+
+let stats_option_single_sample () =
+  let s = Sim.Stats.Samples.create () in
+  Sim.Stats.Samples.add s 7;
+  (* A single sample answers every quantile with itself — including the
+     endpoints that previously tripped the interpolation index. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 0.0)))
+        (Printf.sprintf "q=%g" q) (Some 7.0) (Sim.Stats.Samples.quantile_opt s q))
+    [ 0.0; 0.25; 0.5; 0.99; 1.0 ];
+  Alcotest.(check (option int)) "p0" (Some 7) (Sim.Stats.Samples.percentile_opt s 0.0);
+  Alcotest.(check (option int)) "p100" (Some 7) (Sim.Stats.Samples.percentile_opt s 100.0)
+
+let stats_quantile_interpolation () =
+  let s = Sim.Stats.Samples.create () in
+  List.iter (fun x -> Sim.Stats.Samples.add s x) [ 10; 20; 30; 40 ];
+  Alcotest.(check (option (float 1e-9))) "q=0 is min" (Some 10.0)
+    (Sim.Stats.Samples.quantile_opt s 0.0);
+  Alcotest.(check (option (float 1e-9))) "q=1 is max" (Some 40.0)
+    (Sim.Stats.Samples.quantile_opt s 1.0);
+  (* R type 7: h = q*(n-1); q=0.5 -> h=1.5 -> 20 + 0.5*(30-20) = 25. *)
+  Alcotest.(check (option (float 1e-9))) "q=0.5 interpolates" (Some 25.0)
+    (Sim.Stats.Samples.quantile_opt s 0.5);
+  Alcotest.(check (option (float 1e-9))) "q=1/3 lands on sample" (Some 20.0)
+    (Sim.Stats.Samples.quantile_opt s (1.0 /. 3.0));
+  Alcotest.(check (option (float 0.0))) "q out of range" None
+    (Sim.Stats.Samples.quantile_opt s 1.5);
+  Alcotest.(check (option (float 0.0))) "q NaN" None
+    (Sim.Stats.Samples.quantile_opt s Float.nan);
+  Alcotest.(check (option int)) "p out of range" None
+    (Sim.Stats.Samples.percentile_opt s 101.0)
+
 let stats_histogram () =
   let h = Sim.Stats.Histogram.create ~bucket_width:10 in
   List.iter (fun x -> Sim.Stats.Histogram.add h x) [ 1; 5; 9; 10; 23; 25 ];
@@ -460,6 +501,9 @@ let suite =
     ("stats percentiles", `Quick, stats_percentiles);
     ("stats cache invalidation", `Quick, stats_percentile_cache_invalidation);
     ("stats empty raises", `Quick, stats_empty_percentile_raises);
+    ("stats option api on empty", `Quick, stats_option_empty);
+    ("stats option api single sample", `Quick, stats_option_single_sample);
+    ("stats quantile interpolation", `Quick, stats_quantile_interpolation);
     ("stats histogram", `Quick, stats_histogram);
     ("heap ordering", `Quick, heap_ordering);
     ("heap fifo within key", `Quick, heap_fifo_within_key);
