@@ -6,7 +6,7 @@
    Usage: dune exec bench/main.exe [-- --quick] [-- --only fig4 --only fig6]
                                    [-- --seed N] [-- --bechamel] [-- --csv DIR]
                                    [-- --metrics FILE] [-- --metrics-interval NS]
-                                   [-- --results FILE] *)
+                                   [-- --results FILE] [-- --faults SCENARIO.json] *)
 
 module E = Workload.Experiments
 
@@ -21,6 +21,8 @@ let metrics_file : string option ref = ref None
 let metrics_interval = ref 50_000
 let sampler : Telemetry.Sampler.t option ref = ref None
 let results_file = ref "BENCH_results.json"
+let faults_file : string option ref = ref None
+let faults : Faults.Scenario.t option ref = ref None
 let exit_code = ref 0
 
 let () =
@@ -53,9 +55,21 @@ let () =
     | "--results" :: file :: rest ->
       results_file := file;
       parse rest
+    | "--faults" :: file :: rest ->
+      faults_file := Some file;
+      parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !faults_file with
+  | None -> ()
+  | Some file ->
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Faults.Scenario.of_string s with
+    | Ok sc -> faults := Some sc
+    | Error msg -> failwith (Printf.sprintf "--faults %s: %s" file msg)));
   if !trace_file <> None then tracer := Some (Trace.Tracer.create ());
   if !metrics_file <> None then
     sampler :=
@@ -65,7 +79,8 @@ let () =
 let want id = (!only = [] && id <> "bechamel") || List.mem id !only || (id = "bechamel" && !with_bechamel)
 
 let setup () =
-  { E.seed = !seed; cal = Sim.Calibration.default; trace = !tracer; metrics = !sampler }
+  { E.seed = !seed; cal = Sim.Calibration.default; trace = !tracer; metrics = !sampler;
+    faults = !faults }
 
 (* Captured for BENCH_results.json and the acceptance checks. *)
 let mu_samples : Sim.Stats.Samples.t option ref = ref None

@@ -13,9 +13,54 @@
 
 open Cmdliner
 
-let setup_of ?trace ?metrics seed =
+let setup_of ?trace ?metrics ?faults seed =
   { Workload.Experiments.seed = Int64.of_int seed; cal = Sim.Calibration.default; trace;
-    metrics }
+    metrics; faults }
+
+(* --- fault scenarios ------------------------------------------------------ *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A scenario argument is either one of the named scenarios (which depend
+   on the cluster size, hence the [~n] at resolution time) or a JSON file
+   produced by hand or by a failing sweep's repro. *)
+let resolve_scenario ~n spec =
+  match Faults.Scenario.by_name spec ~n with
+  | Some sc -> Ok sc
+  | None ->
+    if Sys.file_exists spec then
+      Result.map_error
+        (fun msg -> Printf.sprintf "%s: %s" spec msg)
+        (Faults.Scenario.of_string (read_file spec))
+    else
+      Error
+        (Printf.sprintf "unknown scenario %S (named: %s, or a JSON file)" spec
+           (String.concat ", " Faults.Scenario.named))
+
+let scenario_or_die ~n spec =
+  match resolve_scenario ~n spec with
+  | Ok sc -> (
+    match Faults.Scenario.validate ~n sc with
+    | Ok () -> sc
+    | Error msg ->
+      Fmt.epr "invalid scenario for n=%d: %s@." n msg;
+      exit 2)
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    exit 2
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SCENARIO"
+        ~doc:
+          "Inject a fault scenario into the experiment's Mu cluster: a named scenario \
+           (crash-leader, partition-leader, lossy-fabric) or a scenario JSON file.")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for the simulation.")
@@ -82,11 +127,14 @@ let attach_conv =
   Arg.conv (parse, print)
 
 let latency_cmd =
-  let run seed samples payload attach metrics_file interval =
+  let run seed samples payload attach metrics_file interval faults_spec =
     let sampler = make_sampler metrics_file interval in
+    let faults =
+      Option.map (scenario_or_die ~n:Mu.Config.default.Mu.Config.n) faults_spec
+    in
     let s =
       Workload.Experiments.mu_replication_latency
-        (setup_of ?metrics:sampler seed)
+        (setup_of ?metrics:sampler ?faults seed)
         ~samples ~payload ~attach
     in
     pp_result (Printf.sprintf "Mu %dB" payload) s;
@@ -105,7 +153,7 @@ let latency_cmd =
     (Cmd.info "latency" ~doc:"Measure Mu's replication latency (paper Fig. 3).")
     Term.(
       const (fun () -> run) $ setup_logs $ seed_arg $ samples_arg 50_000 $ payload $ attach
-      $ metrics_arg $ metrics_interval_arg)
+      $ metrics_arg $ metrics_interval_arg $ faults_arg)
 
 (* --- compare -------------------------------------------------------------- *)
 
@@ -129,11 +177,16 @@ let compare_cmd =
 (* --- failover -------------------------------------------------------------- *)
 
 let failover_cmd =
-  let run seed rounds trace_file metrics_file interval =
+  let run seed rounds trace_file metrics_file interval faults_spec =
     let tracer = Option.map (fun _ -> Trace.Tracer.create ()) trace_file in
     let sampler = make_sampler metrics_file interval in
+    let faults =
+      Option.map (scenario_or_die ~n:Mu.Config.default.Mu.Config.n) faults_spec
+    in
     let r =
-      Workload.Experiments.failover (setup_of ?trace:tracer ?metrics:sampler seed) ~rounds
+      Workload.Experiments.failover
+        (setup_of ?trace:tracer ?metrics:sampler ?faults seed)
+        ~rounds
     in
     pp_result "total fail-over" r.Workload.Experiments.total;
     pp_result "  detection" r.Workload.Experiments.detection;
@@ -169,7 +222,7 @@ let failover_cmd =
     (Cmd.info "failover" ~doc:"Measure fail-over time across repeated leader failures (Fig. 6).")
     Term.(
       const (fun () -> run) $ setup_logs $ seed_arg $ rounds $ trace $ metrics_arg
-      $ metrics_interval_arg)
+      $ metrics_interval_arg $ faults_arg)
 
 (* --- metrics ------------------------------------------------------------------ *)
 
@@ -270,6 +323,106 @@ let detectors_cmd =
        ~doc:"Compare pull-score failure detection against push heartbeats (§5.1).")
     Term.(const run $ seed_arg)
 
+(* --- chaos -------------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let write_file file s =
+    let oc = open_out_bin file in
+    output_string oc s;
+    close_out oc
+  in
+  let finish ~repro_file failures =
+    match failures with
+    | [] ->
+      Fmt.pr "all runs passed (invariants + linearizability)@.";
+      0
+    | worst :: _ ->
+      (match repro_file with
+      | Some file ->
+        write_file file (Workload.Chaos.repro_json worst);
+        Fmt.pr "minimized repro written to %s@." file
+      | None ->
+        Fmt.pr "minimized repro: %s@." (Workload.Chaos.repro_json worst));
+      1
+  in
+  let run () seed n scenario_spec sweep replay repro_file =
+    let code =
+      match replay, sweep with
+      | Some file, _ ->
+        (* Replay a failing run from its minimized repro: same seed, same
+           scenario, byte-identical execution. *)
+        (match Workload.Chaos.parse_repro (read_file file) with
+        | Error msg ->
+          Fmt.epr "%s@." msg;
+          2
+        | Ok (seed, n, scenario) ->
+          let o = Workload.Chaos.run ~seed ~n scenario in
+          Fmt.pr "%a@." Workload.Chaos.pp_outcome o;
+          finish ~repro_file (if Workload.Chaos.passed o then [] else [ o ]))
+      | None, Some count ->
+        let result =
+          Workload.Chaos.sweep ~count ~ns:[ 3; 5 ] ~seed:(Int64.of_int seed)
+            ~log:(fun i o -> Fmt.pr "[%3d/%d] %a@." (i + 1) count Workload.Chaos.pp_outcome o)
+            ()
+        in
+        Fmt.pr "%d/%d runs passed@."
+          (result.Workload.Chaos.runs - List.length result.Workload.Chaos.failures)
+          result.Workload.Chaos.runs;
+        finish ~repro_file result.Workload.Chaos.failures
+      | None, None ->
+        let scenario = scenario_or_die ~n scenario_spec in
+        let o = Workload.Chaos.run ~seed:(Int64.of_int seed) ~n scenario in
+        Fmt.pr "%a@." Workload.Chaos.pp_outcome o;
+        finish ~repro_file (if Workload.Chaos.passed o then [] else [ o ])
+    in
+    exit code
+  in
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Replicas in the cluster.")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "crash-leader"
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "Named scenario (crash-leader, partition-leader, lossy-fabric) or a \
+             scenario JSON file.")
+  in
+  let sweep_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sweep" ] ~docv:"N"
+          ~doc:
+            "Run $(docv) randomized scenarios (cluster sizes 3 and 5) instead of a \
+             single one; every run's seed derives from --seed.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"REPRO"
+          ~doc:"Replay a failing run from a minimized-repro file written by --repro.")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:"On failure, write the minimized repro (seed, scenario, violation) to \
+                $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run Mu under injected faults (crashes, partitions, loss, forced \
+          permission failures) and check linearizability plus the Appendix A \
+          invariants. Exits non-zero on any violation.")
+    Term.(
+      const run $ setup_logs $ seed_arg $ n_arg $ scenario_arg $ sweep_arg $ replay_arg
+      $ repro_arg)
+
 (* --- report ------------------------------------------------------------------ *)
 
 let report_cmd =
@@ -314,4 +467,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "mu_demo" ~doc)
           [ latency_cmd; compare_cmd; failover_cmd; throughput_cmd; detectors_cmd;
-            metrics_cmd; report_cmd ]))
+            metrics_cmd; chaos_cmd; report_cmd ]))

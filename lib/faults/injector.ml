@@ -1,0 +1,36 @@
+(* Turn a declarative scenario into scheduled mutations of the engine's
+   fault state. Host-targeted actions go through the [hosts] lookup (the
+   harness knows which host backs which replica id); link and permission
+   faults go to the engine's fabric directly. *)
+
+let with_host hosts pid f = match hosts pid with Some h -> f h | None -> ()
+
+let apply e ~hosts action =
+  let fabric = Sim.Engine.fabric e in
+  match action with
+  | Scenario.Pause pid -> with_host hosts pid Sim.Host.pause
+  | Scenario.Resume pid -> with_host hosts pid Sim.Host.resume
+  | Scenario.Stop_process pid -> with_host hosts pid Sim.Host.stop_process
+  | Scenario.Kill_host pid -> with_host hosts pid Sim.Host.kill_host
+  | Scenario.Partition (a, b) -> Sim.Fabric.partition fabric a b
+  | Scenario.Block { src; dst } -> Sim.Fabric.block fabric ~src ~dst
+  | Scenario.Unblock { src; dst } -> Sim.Fabric.unblock fabric ~src ~dst
+  | Scenario.Delay { src; dst; ns } -> Sim.Fabric.set_delay fabric ~src ~dst ns
+  | Scenario.Loss { src; dst; p } -> Sim.Fabric.set_loss fabric ~src ~dst p
+  | Scenario.Dup { src; dst; p } -> Sim.Fabric.set_dup fabric ~src ~dst p
+  | Scenario.Heal -> Sim.Fabric.heal fabric
+  | Scenario.Perm_fail { pid; forced } ->
+    Sim.Fabric.force_perm_failure fabric ~pid forced
+
+let install e ~hosts (s : Scenario.t) =
+  List.iter
+    (fun { Scenario.at; action } ->
+      Sim.Engine.schedule e ~at (fun () ->
+          (* Annotate the injection itself so dashboards and Perfetto
+             traces show where faults begin and end. *)
+          if Sim.Engine.traced e then
+            Sim.Engine.trace_instant e ~cat:"fault"
+              ~args:[ ("scenario", s.Scenario.name) ]
+              (Fmt.str "%a" Scenario.pp_action action);
+          apply e ~hosts action))
+    s.Scenario.events

@@ -1,0 +1,72 @@
+(** Declarative fault scenarios.
+
+    A scenario is a named schedule of virtual-time fault events against a
+    simulated cluster: host failures in the paper's model (§2.2 crash-stop,
+    §7.3 pauses), link-level faults (partitions, extra delay, loss,
+    duplication — applied to the engine's {!Sim.Fabric}), and forced
+    permission-switch failures. Scenarios serialize to JSON ({!to_string} /
+    {!of_string}) so a failing chaos run can be replayed from its repro
+    file, and {!generate} derives random — but liveness-safe — scenarios
+    from a seed. *)
+
+type action =
+  | Pause of int  (** {!Sim.Host.pause}: delayed, NIC keeps serving. *)
+  | Resume of int
+  | Stop_process of int  (** Process crash; memory stays remotely readable. *)
+  | Kill_host of int  (** Machine crash; NIC unreachable (timeouts). *)
+  | Partition of int list * int list
+      (** Symmetric partition: block both directions between the sides. *)
+  | Block of { src : int; dst : int }  (** Directed (asymmetric) cut. *)
+  | Unblock of { src : int; dst : int }
+  | Delay of { src : int; dst : int; ns : int }  (** 0 clears. *)
+  | Loss of { src : int; dst : int; p : float }  (** 0 clears. *)
+  | Dup of { src : int; dst : int; p : float }  (** 0 clears. *)
+  | Heal  (** Clear every link fault (not forced permission failures). *)
+  | Perm_fail of { pid : int; forced : bool }
+      (** Force the permission fast path to fail on [pid] (§7.3). *)
+
+type event = { at : int  (** Virtual time, ns. *); action : action }
+type t = { name : string; events : event list }
+
+val pp_action : action Fmt.t
+val pp : t Fmt.t
+
+val validate : n:int -> t -> (unit, string) result
+(** Check every event against a cluster of [n] hosts: ids in range, no
+    self-loop links, probabilities in [0,1], non-negative times. *)
+
+(** {1 JSON} *)
+
+val to_json : t -> Json.t
+val to_string : t -> string
+
+val of_json : Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+(** {1 Named scenarios}
+
+    Written against a fresh cluster, whose initial leader is replica 0
+    (elections pick the lowest alive id). *)
+
+val crash_leader : n:int -> t
+(** Pause the leader at 5ms (the paper's fail-over injection, §7.3),
+    resume at 25ms. *)
+
+val partition_leader : n:int -> t
+(** Symmetric partition of the leader from everyone at 5ms; heal at 25ms. *)
+
+val lossy_fabric : n:int -> t
+(** 20% loss leader→followers plus 5µs extra delay on the return links
+    from 3ms; heal at 40ms. *)
+
+val named : string list
+val by_name : string -> n:int -> t option
+
+(** {1 Random scenarios} *)
+
+val generate : Sim.Rng.t -> n:int -> horizon:int -> t
+(** A random scenario over [0, horizon * 3/4], replayable from the PRNG's
+    seed. Generated scenarios are liveness-safe: at most [(n-1)/2] hosts
+    are out at once (crashes consume the budget permanently), every pause
+    has a resume, every partition is healed, every probabilistic link
+    fault is cleared, so a run that keeps submitting eventually commits. *)

@@ -14,6 +14,8 @@ type t = {
   mutable fd_reads : int;
   mutable entries_applied : int;
   mutable slots_recycled : int;
+  mutable recycle_skips : int;
+  mutable recycler_errors : int;
 }
 
 let create () =
@@ -33,6 +35,8 @@ let create () =
     fd_reads = 0;
     entries_applied = 0;
     slots_recycled = 0;
+    recycle_skips = 0;
+    recycler_errors = 0;
   }
 
 let copy m = { m with proposes = m.proposes }
@@ -52,7 +56,9 @@ let reset m =
   m.perm_slow_path <- 0;
   m.fd_reads <- 0;
   m.entries_applied <- 0;
-  m.slots_recycled <- 0
+  m.slots_recycled <- 0;
+  m.recycle_skips <- 0;
+  m.recycler_errors <- 0
 
 let diff a b =
   {
@@ -71,16 +77,19 @@ let diff a b =
     fd_reads = a.fd_reads - b.fd_reads;
     entries_applied = a.entries_applied - b.entries_applied;
     slots_recycled = a.slots_recycled - b.slots_recycled;
+    recycle_skips = a.recycle_skips - b.recycle_skips;
+    recycler_errors = a.recycler_errors - b.recycler_errors;
   }
 
 let pp ppf m =
   Fmt.pf ppf
     "proposes=%d commits=%d aborts=%d prepares=%d accepts=%d catch-up=%d update=%d \
      grown=%d perm-req=%d perm-grant=%d fast/slow=%d/%d fd-reads=%d applied=%d \
-     recycled=%d"
+     recycled=%d recycle-skips=%d recycler-errors=%d"
     m.proposes m.commits m.aborts m.prepare_phases m.accept_rounds m.catch_up_entries
     m.update_entries m.followers_grown m.permission_requests m.permission_grants
     m.perm_fast_path m.perm_slow_path m.fd_reads m.entries_applied m.slots_recycled
+    m.recycle_skips m.recycler_errors
 
 let total ms =
   let acc = create () in
@@ -100,6 +109,8 @@ let total ms =
       acc.perm_slow_path <- acc.perm_slow_path + m.perm_slow_path;
       acc.fd_reads <- acc.fd_reads + m.fd_reads;
       acc.entries_applied <- acc.entries_applied + m.entries_applied;
-      acc.slots_recycled <- acc.slots_recycled + m.slots_recycled)
+      acc.slots_recycled <- acc.slots_recycled + m.slots_recycled;
+      acc.recycle_skips <- acc.recycle_skips + m.recycle_skips;
+      acc.recycler_errors <- acc.recycler_errors + m.recycler_errors)
     ms;
   acc

@@ -21,6 +21,13 @@ type t = {
   mutable fd_reads : int;  (** Heartbeat counter reads issued. *)
   mutable entries_applied : int;  (** Entries injected into the app. *)
   mutable slots_recycled : int;  (** Log slots zeroed for reuse (§5.3). *)
+  mutable recycle_skips : int;  (** Recycle rounds skipped: a log-head read
+                                    failed on a confirmed peer, permission
+                                    was in doubt, or the leader was being
+                                    deposed mid-round. *)
+  mutable recycler_errors : int;  (** Error completions on recycler
+                                      operations (head reads and zeroing
+                                      writes). *)
 }
 
 val create : unit -> t

@@ -10,8 +10,21 @@
     Only an established leader recycles: a new leader first finishes its
     catch-up/update steps, guaranteeing its FUO is at least every
     follower's (§5.3). The zeroing writes are fire-and-forget: their
-    completions are consumed (and any error turned into an abort) by the
-    propose path's completion loop, which shares the replication CQ. *)
+    completions are consumed by the propose path's completion loop, which
+    shares the replication CQ, decrements [Replica.recycler_outstanding]
+    and surfaces errors in [Metrics.recycler_errors] and telemetry
+    ([mu_recycler_errors_total]) before aborting the propose.
+
+    Fault handling: a round is {e skipped} (watermark unchanged, counted
+    in [Metrics.recycle_skips] / [mu_recycle_skips_total]) when a log-head
+    read fails on a confirmed peer, when any head read reports a
+    permission error, or when mid-round this replica stops being the
+    permission holder or a replication QP leaves RTS — all signs the
+    leader's view may be stale, in which case zeroing could erase entries
+    a live replica still needs. Only a non-confirmed peer whose NIC
+    stopped answering (crashed under the §2.2 crash-stop model) is
+    excluded from the minimum, which keeps recycling live with a dead
+    replica. *)
 
 val start : Replica.t -> unit
 (** Spawn the recycling fiber (active only while this replica leads). *)

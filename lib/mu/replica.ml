@@ -42,6 +42,7 @@ type t = {
   mutable applied : int;
   mutable on_commit : int -> bytes -> unit;
   mutable zeroed_up_to : int;
+  mutable recycler_outstanding : int;
   metrics : Metrics.t;
   tel : Telem.t option;
   mutable removed : bool;
@@ -103,6 +104,7 @@ let create_unwired eng calib config ~id =
     applied = 0;
     on_commit = (fun _ _ -> ());
     zeroed_up_to = 0;
+    recycler_outstanding = 0;
     metrics = Metrics.create ();
     tel = Telem.of_engine eng ~id;
     removed = false;
@@ -191,6 +193,14 @@ let peer t id =
   match peer_opt t id with
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Replica.peer: replica %d has no peer %d" t.id id)
+
+(* Tags in [inflight] identify which plane posted a work request on the
+   shared replication CQ. Positive tags are propose/catch-up rounds
+   (Replication.fresh_tag); the reserved negative tags below mark
+   background writes whose completions the propose path reaps on the
+   posting plane's behalf. *)
+let recycler_tag = -2
+let config_tag = -3
 
 let fresh_wr_id t =
   t.wr_seq <- t.wr_seq + 1;

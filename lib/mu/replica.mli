@@ -63,6 +63,11 @@ type t = {
   mutable applied : int;  (** Log head: entries injected into the app. *)
   mutable on_commit : int -> bytes -> unit;
   mutable zeroed_up_to : int;  (** Recycling low-water mark (§5.3). *)
+  mutable recycler_outstanding : int;
+      (** Zeroing writes posted by {!Recycler} whose completions have not
+          been reaped yet (the propose path reaps them; see
+          {!recycler_tag}). Bounds the junk a deposed leader can leave on
+          the shared CQ. *)
   metrics : Metrics.t;  (** Operation counters for observability. *)
   tel : Telem.t option;  (** Registry-backed telemetry; [None] when off. *)
   mutable removed : bool;  (** Membership: removed from the group (§5.4). *)
@@ -97,6 +102,15 @@ val wire : t -> t -> unit
 (** Connect the planes of two replicas (idempotent per pair). *)
 
 (** {1 Accessors and helpers} *)
+
+val recycler_tag : int
+(** Reserved [inflight] tag for the recycler's zeroing writes on the
+    replication CQ. Their completions are reaped by the propose path,
+    which decrements [recycler_outstanding] and records errors in
+    [Metrics.recycler_errors] / telemetry. *)
+
+val config_tag : int
+(** Reserved [inflight] tag for membership-configuration writes. *)
 
 val engine : t -> Sim.Engine.t
 val cal : t -> Sim.Calibration.t

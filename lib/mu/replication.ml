@@ -18,7 +18,11 @@ let abort t reason =
   t.Replica.metrics.Metrics.aborts <- t.Replica.metrics.Metrics.aborts + 1;
   t.Replica.need_new_followers <- true;
   t.Replica.skip_prepare <- false;
+  (* Resetting [inflight] also forgets any recycler writes still in
+     flight; their completions will be discarded as stale, so the
+     outstanding count restarts from zero with the next leadership. *)
   Hashtbl.reset t.Replica.inflight;
+  t.Replica.recycler_outstanding <- 0;
   raise (Aborted reason)
 
 let confirmed_peers t =
@@ -51,6 +55,33 @@ let post_tracked t (p : Replica.peer) ~tag ~post =
   Hashtbl.replace t.Replica.inflight wr (p.Replica.pid, tag);
   post wr
 
+(* Completions of the recycler's fire-and-forget zeroing writes arrive on
+   the shared replication CQ and are reaped here, on the propose path:
+   the outstanding count comes down and error statuses — permission
+   revocation racing a zeroing write — become visible in metrics and
+   telemetry instead of vanishing. (The error still aborts the propose
+   below: a failed write to a confirmed follower means this leader lost
+   its standing, whatever plane posted it.) *)
+let note_recycler t ~pid ~tag ~status =
+  if tag = Replica.recycler_tag then begin
+    t.Replica.recycler_outstanding <- max 0 (t.Replica.recycler_outstanding - 1);
+    match status with
+    | Rdma.Verbs.Success -> ()
+    | status ->
+      t.Replica.metrics.Metrics.recycler_errors <-
+        t.Replica.metrics.Metrics.recycler_errors + 1;
+      (match t.Replica.tel with Some tel -> Telem.recycler_error tel | None -> ());
+      let e = Replica.engine t in
+      if Sim.Engine.traced e then
+        Sim.Engine.trace_instant e ~cat:"mu" ~pid:t.Replica.id
+          ~args:
+            [
+              ("peer", string_of_int pid);
+              ("status", Fmt.str "%a" Rdma.Verbs.pp_wc_status status);
+            ]
+          "recycler_write_failed"
+  end
+
 (* Consume completions until [needed] successes with tag [tag] have been
    seen; returns the peer ids that succeeded. Completions from older tags
    are discarded if successful — but any error completion means this
@@ -64,6 +95,7 @@ let await_tag t ~tag ~needed =
     | None -> () (* stale: belongs to an aborted round *)
     | Some (pid, tg) -> (
       Hashtbl.remove t.Replica.inflight wc.Rdma.Verbs.wr_id;
+      note_recycler t ~pid ~tag:tg ~status:wc.Rdma.Verbs.status;
       match wc.Rdma.Verbs.status with
       | Rdma.Verbs.Success -> if tg = tag then successes := pid :: !successes
       | Rdma.Verbs.Remote_access_error | Rdma.Verbs.Operation_timeout | Rdma.Verbs.Flushed
@@ -82,6 +114,7 @@ let drain_completion t ~timeout =
     | None -> None
     | Some (pid, tg) -> (
       Hashtbl.remove t.Replica.inflight wc.Rdma.Verbs.wr_id;
+      note_recycler t ~pid ~tag:tg ~status:wc.Rdma.Verbs.status;
       match wc.Rdma.Verbs.status with
       | Rdma.Verbs.Success -> Some (pid, tg)
       | Rdma.Verbs.Remote_access_error | Rdma.Verbs.Operation_timeout | Rdma.Verbs.Flushed

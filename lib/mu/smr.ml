@@ -407,7 +407,7 @@ let propose_config_entry t op =
                let fuo_buf = Bytes.create 8 in
                Bytes.set_int64_le fuo_buf 0 (Int64.of_int (idx + 1));
                let wr = Replica.fresh_wr_id r in
-               Hashtbl.replace r.Replica.inflight wr (p.Replica.pid, -3);
+               Hashtbl.replace r.Replica.inflight wr (p.Replica.pid, Replica.config_tag);
                Rdma.Qp.post_write p.Replica.repl_qp ~wr_id:wr ~src:fuo_buf ~src_off:0
                  ~len:8 ~mr:p.Replica.remote_log_mr ~dst_off:mu_log_fuo_offset
              | Some _ | None -> ()

@@ -11,6 +11,8 @@ type t = {
   demotions : Telemetry.Registry.counter;
   fuo : Telemetry.Registry.gauge;
   watermark : Telemetry.Registry.gauge;
+  recycle_skips : Telemetry.Registry.counter;
+  recycler_errors : Telemetry.Registry.counter;
   (* mu_score gauges are per (replica, peer); peers are discovered as
      the failure detector first reads them. *)
   score_gauges : (int, Telemetry.Registry.gauge) Hashtbl.t;
@@ -37,6 +39,14 @@ let create reg ~id =
     watermark =
       Telemetry.Registry.gauge reg ~help:"Log slots zeroed by the recycler" ~labels
         "mu_recycle_watermark";
+    recycle_skips =
+      Telemetry.Registry.counter reg
+        ~help:"Recycle rounds skipped because a confirmed peer's log head was unreadable or permission was in doubt"
+        ~labels "mu_recycle_skips_total";
+    recycler_errors =
+      Telemetry.Registry.counter reg
+        ~help:"Error completions on recycler head reads and zeroing writes" ~labels
+        "mu_recycler_errors_total";
     score_gauges = Hashtbl.create 8;
   }
 
@@ -58,6 +68,8 @@ let set_score t ~peer v =
   in
   Telemetry.Registry.Gauge.set g v
 
+let recycle_skip t = Telemetry.Registry.Counter.inc t.recycle_skips
+let recycler_error t = Telemetry.Registry.Counter.inc t.recycler_errors
 let election t = Telemetry.Registry.Counter.inc t.elections
 let demotion t = Telemetry.Registry.Counter.inc t.demotions
 let commit_fuo t v = Telemetry.Registry.Gauge.set t.fuo v

@@ -20,5 +20,14 @@ val election : t -> unit
 val demotion : t -> unit
 val commit_fuo : t -> int -> unit
 val recycle : t -> int -> unit
+
+(** [recycle_skip] counts recycle rounds abandoned without zeroing (failed
+    confirmed-peer head read, revoked permission, or mid-round
+    deposition); [recycler_error] counts error completions observed on
+    recycler operations. *)
+
+val recycle_skip : t -> unit
+
+val recycler_error : t -> unit
 val replication_ns : t -> int -> unit
 val commit_ns : t -> int -> unit

@@ -26,9 +26,22 @@ let change_qp_flags qp access =
       let hazardous =
         match Qp.peer qp with None -> false | Some peer -> Qp.outstanding peer > 0
       in
+      (* Injected fault: a scenario may force this host's fast path to fail
+         (driving Mu onto the QP-restart slow path, §7.3). Checked before
+         the hazard draw so forcing never perturbs the random stream of a
+         fault-free run. *)
+      let forced =
+        Sim.Fabric.perm_failure_forced
+          (Sim.Engine.fabric (Sim.Host.engine host))
+          ~pid:(Sim.Host.id host)
+      in
       Sim.Host.cpu host
         (Sim.Distribution.sample_ns c.Sim.Calibration.perm_qp_flags (Sim.Host.rng host));
-      if hazardous && Sim.Rng.bool (Sim.Host.rng host) then begin
+      if forced || (hazardous && Sim.Rng.bool (Sim.Host.rng host)) then begin
+        let e = Sim.Host.engine host in
+        if forced && Sim.Engine.traced e then
+          Sim.Engine.trace_instant e ~cat:"fault" ~pid:(Sim.Host.id host)
+            "perm_fail_forced";
         Qp.set_state qp Verbs.Err;
         Error `Qp_error
       end

@@ -172,6 +172,67 @@ let tx_delay t ~payload =
   in
   c.Sim.Calibration.nic_tx + fetch
 
+(* --- injected fabric faults -------------------------------------------- *)
+
+(* Outcome of one directed leg under the engine's fault table: either the
+   packet is lost for good (RC gives up and the transport timeout fires)
+   or it gets through with some extra delay. *)
+type leg = { lost : bool; extra : int }
+
+let no_fault = { lost = false; extra = 0 }
+
+(* RC retransmission backoff per lost attempt, and how many retries the
+   NIC attempts before declaring the peer unreachable. 8 attempts at
+   rnic_timeout/8 keeps every retried-but-delivered packet under the
+   transport timeout, so ordering with genuinely dropped operations is
+   preserved. *)
+let retry_attempts = 8
+
+let trace_fault t ~src ~dst ~what =
+  let e = engine t in
+  if Sim.Engine.traced e then
+    Sim.Engine.trace_instant e ~cat:"fault" ~pid:(Sim.Host.id t.host)
+      ~args:[ ("src", string_of_int src); ("dst", string_of_int dst) ]
+      what
+
+(* Evaluate the directed link [src -> dst] under injected faults. Draws
+   from the requester host's PRNG only when a probabilistic fault is
+   installed on the link, so fault-free runs consume exactly the random
+   stream they did before fault injection existed. *)
+let eval_leg t ~src ~dst =
+  match Sim.Fabric.find (Sim.Engine.fabric (engine t)) ~src ~dst with
+  | None -> no_fault
+  | Some f ->
+    if f.Sim.Fabric.blocked then begin
+      trace_fault t ~src ~dst ~what:"fabric_blocked";
+      { lost = true; extra = 0 }
+    end
+    else begin
+      let c = cal t in
+      let rng = Sim.Host.rng t.host in
+      let extra = ref f.Sim.Fabric.extra_delay in
+      let lost = ref false in
+      if f.Sim.Fabric.loss > 0. then begin
+        let retry_ns = c.Sim.Calibration.rnic_timeout / retry_attempts in
+        let attempts = ref 0 in
+        while (not !lost) && Sim.Rng.float rng < f.Sim.Fabric.loss do
+          incr attempts;
+          if !attempts >= retry_attempts then lost := true
+          else extra := !extra + retry_ns
+        done;
+        if !attempts > 0 then
+          trace_fault t ~src ~dst ~what:(if !lost then "fabric_drop" else "fabric_retransmit")
+      end;
+      if (not !lost) && f.Sim.Fabric.dup > 0. && Sim.Rng.float rng < f.Sim.Fabric.dup
+      then begin
+        (* RC discards the duplicate by PSN; it only occupies the
+           responder NIC for one extra receive. *)
+        extra := !extra + c.Sim.Calibration.nic_rx;
+        trace_fault t ~src ~dst ~what:"fabric_dup"
+      end;
+      if !lost then { lost = true; extra = 0 } else { lost = false; extra = !extra }
+    end
+
 let responder_allows resp ~(mr : Mr.t) ~off ~len ~need_write =
   (match resp.state with Verbs.Rtr | Verbs.Rts -> true | Verbs.Reset | Verbs.Init | Verbs.Err -> false)
   && (if need_write then resp.acc.Verbs.remote_write else resp.acc.Verbs.remote_read)
@@ -195,9 +256,14 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
   match t.state, t.peer with
   | Verbs.Rts, Some resp when Mr.host mr == resp.host ->
     let t0 = Sim.Engine.now e in
-    let arrive = arrival_time t (t0 + tx_delay t ~payload:payload_out + wire_delay t ~len:payload_out) in
+    let src = Sim.Host.id t.host and dst = Sim.Host.id resp.host in
+    let req = eval_leg t ~src ~dst in
+    let arrive =
+      arrival_time t
+        (t0 + tx_delay t ~payload:payload_out + wire_delay t ~len:payload_out + req.extra)
+    in
     Sim.Engine.schedule e ~at:arrive (fun () ->
-        if (not t.link.up) || not (Sim.Host.nic_reachable resp.host) then begin
+        if req.lost || (not t.link.up) || not (Sim.Host.nic_reachable resp.host) then begin
           (* RC retransmits silently until the transport timeout fires. *)
           mark_err t;
           deliver_completion t
@@ -216,18 +282,30 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
         end
         else begin
           apply ();
-          (* Writes into persistent memory are acknowledged only once
-             flushed (SNIA RDMA persistence extension, paper §1). *)
-          let flush =
-            if need_write && Mr.is_persistent mr then c.Sim.Calibration.pmem_flush else 0
-          in
-          let back =
-            Sim.Engine.now e + c.Sim.Calibration.nic_rx + flush
-            + wire_delay t ~len:payload_back
-            + c.Sim.Calibration.cq_poll
-          in
-          deliver_completion t ~at:back ~wr_id ~kind ~status:Verbs.Success ~byte_len:len
-            ~before:on_complete ()
+          match eval_leg t ~src:dst ~dst:src with
+          | { lost = true; _ } ->
+            (* The operation took effect at the responder but the ack never
+               makes it back — the adversarial asymmetric-partition case.
+               The requester cannot tell this from a dropped request. *)
+            mark_err t;
+            deliver_completion t
+              ~at:(t0 + c.Sim.Calibration.rnic_timeout)
+              ~wr_id ~kind ~status:Verbs.Operation_timeout
+              ~before:(fun () -> ())
+              ()
+          | { lost = false; extra } ->
+            (* Writes into persistent memory are acknowledged only once
+               flushed (SNIA RDMA persistence extension, paper §1). *)
+            let flush =
+              if need_write && Mr.is_persistent mr then c.Sim.Calibration.pmem_flush else 0
+            in
+            let back =
+              Sim.Engine.now e + c.Sim.Calibration.nic_rx + flush
+              + wire_delay t ~len:payload_back
+              + c.Sim.Calibration.cq_poll + extra
+            in
+            deliver_completion t ~at:back ~wr_id ~kind ~status:Verbs.Success ~byte_len:len
+              ~before:on_complete ()
         end)
   | Verbs.Rts, Some _ -> invalid_arg "Qp.post: MR does not belong to the peer host"
   | Verbs.Rts, None -> invalid_arg "Qp.post: not connected"
@@ -313,9 +391,13 @@ let post_send t ~wr_id ~src ~src_off ~len =
   | Verbs.Rts, Some resp ->
     let payload = Bytes.sub src src_off len in
     let t0 = Sim.Engine.now e in
-    let arrive = arrival_time t (t0 + tx_delay t ~payload:len + wire_delay t ~len) in
+    let sid = Sim.Host.id t.host and did = Sim.Host.id resp.host in
+    let req = eval_leg t ~src:sid ~dst:did in
+    let arrive =
+      arrival_time t (t0 + tx_delay t ~payload:len + wire_delay t ~len + req.extra)
+    in
     Sim.Engine.schedule e ~at:arrive (fun () ->
-        if (not t.link.up) || not (Sim.Host.nic_reachable resp.host) then begin
+        if req.lost || (not t.link.up) || not (Sim.Host.nic_reachable resp.host) then begin
           mark_err t;
           deliver_completion t
             ~at:(t0 + c.Sim.Calibration.rnic_timeout)
@@ -344,11 +426,21 @@ let post_send t ~wr_id ~src ~src_off ~len =
                 ~before:(fun () -> mark_err t)
                 ()
             else
-              deliver_completion t
-                ~at:(arrived_at + wire_delay t ~len:0 + c.Sim.Calibration.cq_poll)
-                ~wr_id ~kind:`Send ~status:Verbs.Success ~byte_len:got
-                ~before:(fun () -> ())
-                ()
+              match eval_leg t ~src:did ~dst:sid with
+              | { lost = true; _ } ->
+                (* Delivered, but the ack never returns. *)
+                mark_err t;
+                deliver_completion t
+                  ~at:(t0 + c.Sim.Calibration.rnic_timeout)
+                  ~wr_id ~kind:`Send ~status:Verbs.Operation_timeout
+                  ~before:(fun () -> ())
+                  ()
+              | { lost = false; extra } ->
+                deliver_completion t
+                  ~at:(arrived_at + wire_delay t ~len:0 + c.Sim.Calibration.cq_poll + extra)
+                  ~wr_id ~kind:`Send ~status:Verbs.Success ~byte_len:got
+                  ~before:(fun () -> ())
+                  ()
           in
           if Queue.is_empty resp.recvq then
             (* RNR: the requester NIC retries until a buffer is posted. *)

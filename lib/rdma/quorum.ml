@@ -7,20 +7,27 @@ type t = {
   inflight : (int, int * int) Hashtbl.t;  (* wr_id -> (round, index) *)
   mutable next_wr : int;
   mutable round : int;
+  mutable stale_failures : int;
 }
 
-let create cq = { cq; inflight = Hashtbl.create 32; next_wr = 0; round = 0 }
+let create cq =
+  { cq; inflight = Hashtbl.create 32; next_wr = 0; round = 0; stale_failures = 0 }
 
+(* Next tracked completion: (round, index, status). Never raises — whether
+   an error completion matters depends on which round it belongs to, and
+   only the callers below know the current round. Raising here aborted the
+   *current* round on errors left over from a pre-fail-over round (e.g. a
+   Flushed completion of a write posted before the QP went down). *)
 let take t =
   let wc = Cq.await t.cq in
   match Hashtbl.find_opt t.inflight wc.Verbs.wr_id with
   | None -> None (* foreign completion on a shared CQ round; ignore *)
   | Some (round, index) ->
     Hashtbl.remove t.inflight wc.Verbs.wr_id;
-    (match wc.Verbs.status with
-    | Verbs.Success -> ()
-    | status -> raise (Operation_failed { index; status }));
-    Some (round, index)
+    Some (round, index, wc.Verbs.status)
+
+let stale_failure t =
+  t.stale_failures <- t.stale_failures + 1
 
 let post_and_wait t ~needed ~post =
   t.round <- t.round + 1;
@@ -36,8 +43,11 @@ let post_and_wait t ~needed ~post =
   let succeeded = ref [] in
   while List.length !succeeded < needed do
     match take t with
-    | Some (r, index) when r = round -> succeeded := index :: !succeeded
-    | Some _ | None -> ()
+    | Some (r, index, Verbs.Success) when r = round -> succeeded := index :: !succeeded
+    | Some (r, index, status) when r = round -> raise (Operation_failed { index; status })
+    | Some (_, _, Verbs.Success) | None -> () (* stale success: already accounted *)
+    | Some (_, _, _) -> stale_failure t (* stale failure: the round it could
+                                            abort is already over *)
   done;
   let pending =
     Hashtbl.fold (fun _ (r, _) acc -> if r = round then acc + 1 else acc) t.inflight 0
@@ -46,5 +56,9 @@ let post_and_wait t ~needed ~post =
 
 let drain t =
   while Hashtbl.length t.inflight > 0 do
-    ignore (take t)
+    match take t with
+    | Some (_, _, Verbs.Success) | None -> ()
+    | Some (_, _, _) -> stale_failure t
   done
+
+let stale_failures t = t.stale_failures

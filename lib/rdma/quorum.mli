@@ -7,9 +7,13 @@
     that arrives on the shared CQ in the meantime.
 
     The caller owns the CQ and must be its only consumer. Completions from
-    earlier rounds are recognised by their work-request ids and ignored if
-    successful; any error completion surfaces immediately (in Mu's usage
-    an error means lost permission — grounds to abort, §4.1). *)
+    earlier rounds — successes {e and} failures — are recognised by their
+    work-request ids and discarded: a stale [Flushed] or timeout left over
+    from a pre-fail-over round says nothing about the current round and
+    must not abort it. Stale failures are counted (see {!stale_failures})
+    so callers can surface them in telemetry. Only an error completion
+    belonging to the {e current} round raises (in Mu's usage an error
+    means lost permission — grounds to abort, §4.1). *)
 
 type outcome = {
   succeeded : int list;  (** Indices (into the posted list) that completed. *)
@@ -25,11 +29,16 @@ val create : Cq.t -> t
 
 val post_and_wait : t -> needed:int -> post:(wr_id:int -> unit) list -> outcome
 (** [post_and_wait t ~needed ~post] invokes each closure in [post] with a
-    fresh work-request id, then consumes completions until
-    [needed] of {e this round's} operations succeeded. Raises
-    {!Operation_failed} on any error completion (this or a prior round).
-    Must run in a fiber. *)
+    fresh work-request id, then consumes completions until [needed] of
+    {e this round's} operations succeeded. Raises {!Operation_failed} on
+    an error completion of this round; error completions of earlier
+    rounds are counted and discarded. Must run in a fiber. *)
 
 val drain : t -> unit
 (** Consume completions of all still-pending operations from earlier
-    rounds (blocking). Raises {!Operation_failed} on errors. *)
+    rounds (blocking). Never raises: failures of abandoned operations are
+    counted and discarded, and [inflight] is empty on return. *)
+
+val stale_failures : t -> int
+(** Error completions from past rounds discarded so far — non-zero after
+    fail-overs or injected faults; useful for assertions and telemetry. *)

@@ -6,6 +6,7 @@ type t = {
   mutable halted : bool;
   mutable running : bool;
   probe : Probe.t;
+  fabric : Fabric.t;
   mutable next_fiber : int;
   mutable cur_fiber : int;
   mutable cur_pid : int;
@@ -34,6 +35,7 @@ let create ?(seed = 1L) () =
     halted = false;
     running = false;
     probe = Probe.create ();
+    fabric = Fabric.create ();
     next_fiber = 0;
     cur_fiber = 0;
     cur_pid = -1;
@@ -45,6 +47,7 @@ let create ?(seed = 1L) () =
 
 let now t = t.now
 let rng t = t.root_rng
+let fabric t = t.fabric
 let pending_events t = Heap.length t.events
 
 (* Telemetry ------------------------------------------------------------ *)

@@ -26,6 +26,10 @@ val rng : t -> Rng.t
 (** The engine's root PRNG. Components should derive their own streams via
     {!Rng.split}. *)
 
+val fabric : t -> Fabric.t
+(** The engine's fault-injection table, consulted by the RDMA layer on
+    every post. Empty by default; see {!Fabric}. *)
+
 val schedule : t -> at:int -> (unit -> unit) -> unit
 (** Schedule a thunk at an absolute time (>= [now]). *)
 

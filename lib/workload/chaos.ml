@@ -1,0 +1,208 @@
+(* Chaos harness: run a Mu cluster under an injected fault scenario while
+   KV clients collect a real-time history, then check the two safety nets
+   the paper's claims rest on — the Appendix A invariants over replica
+   state and linearizability of the observed history (§2.2). *)
+
+type outcome = {
+  seed : int64;
+  n : int;
+  scenario : Faults.Scenario.t;
+  completed : bool;
+  ops : int;
+  committed : int;
+  linearizable : bool;
+  violations : Mu.Invariants.violation list;
+}
+
+let passed o = o.linearizable && o.violations = [] && o.completed
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%-18s seed=%-8Ld n=%d  %4d ops, %4d committed  %s" o.scenario.Faults.Scenario.name
+    o.seed o.n o.ops o.committed
+    (if passed o then "ok"
+     else
+       String.concat ", "
+         ((if o.completed then [] else [ "stalled" ])
+         @ (if o.linearizable then [] else [ "NOT LINEARIZABLE" ])
+         @
+         match o.violations with
+         | [] -> []
+         | vs -> [ Printf.sprintf "%d invariant violation(s)" (List.length vs) ]))
+
+(* One client fiber: closed-loop Puts/Gets on a small shared key space,
+   each op recorded with its invocation/response times. Request ids make
+   retries idempotent (the KV app deduplicates), so the at-least-once
+   delivery of SMR under leader change stays linearizable. *)
+let client_fiber e smr ~proc ~ops ~keys ~history ~pending ~on_done =
+  let rng = Sim.Rng.split (Sim.Engine.rng e) in
+  Mu.Smr.wait_live smr;
+  for i = 1 to ops do
+    let key = keys.(Sim.Rng.int rng (Array.length keys)) in
+    let cmd =
+      if Sim.Rng.bool rng then
+        Apps.Kv_store.Put { key; value = Printf.sprintf "c%d-%d" proc i }
+      else Apps.Kv_store.Get { key }
+    in
+    let payload = Apps.Kv_store.encode_command ~client:proc ~req_id:i cmd in
+    let invoked = Sim.Engine.now e in
+    Hashtbl.replace pending proc (invoked, key, cmd);
+    let reply = Mu.Smr.submit smr payload in
+    let responded = Sim.Engine.now e in
+    Hashtbl.remove pending proc;
+    let kind =
+      match cmd, Apps.Kv_store.decode_reply reply with
+      | Apps.Kv_store.Put { value; _ }, _ -> Linearizability.Write value
+      | Apps.Kv_store.Get _, Some (Apps.Kv_store.Value v) ->
+        Linearizability.Read (Some v)
+      | (Apps.Kv_store.Get _ | Apps.Kv_store.Delete _), _ ->
+        Linearizability.Read None
+    in
+    history :=
+      { Linearizability.proc; invoked; responded; key; kind } :: !history
+  done;
+  on_done ()
+
+let run ?trace ?(clients = 4) ?(ops_per_client = 25) ?(horizon = 2_000_000_000)
+    ~seed ~n scenario =
+  let e = Sim.Engine.create ~seed () in
+  (match trace with Some tr -> Trace.Tracer.attach tr e | None -> ());
+  let cfg =
+    { Mu.Config.default with Mu.Config.n; log_slots = 4096; recycle_interval = 1_000_000 }
+  in
+  let smr =
+    Mu.Smr.create e Sim.Calibration.default cfg ~make_app:(fun _ ->
+        Apps.Kv_store.smr_app ())
+  in
+  Mu.Smr.start smr;
+  let replicas = Mu.Smr.replicas smr in
+  Faults.Injector.install e
+    ~hosts:(fun pid ->
+      if pid >= 0 && pid < Array.length replicas then
+        Some replicas.(pid).Mu.Replica.host
+      else None)
+    scenario;
+  let history = ref [] in
+  let pending = Hashtbl.create 8 in
+  let remaining = ref clients in
+  let completed = ref false in
+  let keys = [| "a"; "b"; "c" |] in
+  for proc = 1 to clients do
+    Sim.Engine.spawn e
+      ~name:(Printf.sprintf "chaos-client-%d" proc)
+      (fun () ->
+        client_fiber e smr ~proc ~ops:ops_per_client ~keys ~history ~pending
+          ~on_done:(fun () ->
+            decr remaining;
+            if !remaining = 0 then begin
+              (* Quiesce: let stragglers (replayers, recycler, elections
+                 after the last fault) settle before the state checks. *)
+              Sim.Engine.sleep e 5_000_000;
+              completed := true;
+              Mu.Smr.stop smr;
+              Sim.Engine.halt e
+            end))
+  done;
+  Sim.Engine.run ~until:horizon e;
+  let history = !history in
+  (* A run that stalled (e.g. a scenario that left no majority) still gets
+     checked for safety: writes that never responded may or may not have
+     taken effect, so they stay in the history with an open interval —
+     the checker may linearize them anywhere after their invocation.
+     Unresponded reads observed nothing and are dropped. *)
+  let history =
+    if !completed then history
+    else
+      Hashtbl.fold
+        (fun proc (invoked, key, cmd) acc ->
+          match cmd with
+          | Apps.Kv_store.Put { value; _ } ->
+            {
+              Linearizability.proc;
+              invoked;
+              responded = max_int;
+              key;
+              kind = Linearizability.Write value;
+            }
+            :: acc
+          | Apps.Kv_store.Get _ | Apps.Kv_store.Delete _ -> acc)
+        pending history
+  in
+  {
+    seed;
+    n;
+    scenario;
+    completed = !completed;
+    ops = List.length history;
+    committed =
+      Array.fold_left (fun acc r -> max acc (Mu.Log.fuo r.Mu.Replica.log)) 0 replicas;
+    linearizable = Linearizability.check history;
+    violations = Mu.Invariants.check_all replicas;
+  }
+
+(* --- minimized repro ----------------------------------------------------- *)
+
+(* Everything needed to replay a failing run byte-for-byte: the seed, the
+   replica count and the full scenario. The violation summary is carried
+   for humans; replay only needs the first three. *)
+let repro_json o =
+  Faults.Json.to_string
+    (Faults.Json.Obj
+       [
+         ("seed", Faults.Json.Str (Int64.to_string o.seed));
+         ("n", Faults.Json.num_of_int o.n);
+         ("scenario", Faults.Scenario.to_json o.scenario);
+         ( "violation",
+           Faults.Json.Str
+             (if not o.linearizable then "history not linearizable"
+              else if o.violations <> [] then
+                Fmt.str "%a" (Fmt.list Mu.Invariants.pp_violation) o.violations
+              else if not o.completed then "liveness stall (clients never finished)"
+              else "none") );
+       ])
+
+let parse_repro s =
+  let ( let* ) = Result.bind in
+  let* j = Faults.Json.of_string s in
+  let* seed =
+    match Option.bind (Faults.Json.member "seed" j) Faults.Json.to_str with
+    | Some s -> (
+      match Int64.of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "repro: bad seed %S" s))
+    | None -> Error "repro: missing \"seed\""
+  in
+  let* n =
+    match Option.bind (Faults.Json.member "n" j) Faults.Json.to_int with
+    | Some n -> Ok n
+    | None -> Error "repro: missing \"n\""
+  in
+  let* scenario =
+    match Faults.Json.member "scenario" j with
+    | Some sj -> Faults.Scenario.of_json sj
+    | None -> Error "repro: missing \"scenario\""
+  in
+  let* () = Faults.Scenario.validate ~n scenario in
+  Ok (seed, n, scenario)
+
+(* --- randomized sweep ----------------------------------------------------- *)
+
+type sweep = { runs : int; failures : outcome list }
+
+(* Each iteration derives its own seed from the sweep's root PRNG; the
+   scenario is generated from that seed and the engine is seeded with it
+   too, so one 64-bit number replays the whole run. *)
+let sweep ?(count = 50) ?(ns = [ 3; 5 ]) ?log ~seed () =
+  let root = Sim.Rng.create seed in
+  let ns = Array.of_list ns in
+  let failures = ref [] in
+  for i = 0 to count - 1 do
+    let run_seed = Sim.Rng.int64 root in
+    let n = ns.(i mod Array.length ns) in
+    let scenario =
+      Faults.Scenario.generate (Sim.Rng.create run_seed) ~n ~horizon:40_000_000
+    in
+    let o = run ~seed:run_seed ~n scenario in
+    if not (passed o) then failures := o :: !failures;
+    match log with Some f -> f i o | None -> ()
+  done;
+  { runs = count; failures = List.rev !failures }

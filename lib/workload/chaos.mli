@@ -1,0 +1,74 @@
+(** Chaos runner: Mu under injected faults, checked for safety.
+
+    Each run builds a fresh cluster of [n] replicas serving the KV
+    application, installs a {!Faults.Scenario.t} over the engine, and
+    drives closed-loop clients whose operations are recorded as a
+    real-time history. After the run, two independent safety checks fire:
+    the Appendix A invariants over raw replica state
+    ({!Mu.Invariants.check_all}) and linearizability of the observed
+    history ({!Linearizability.check}) — the paper's §2.2 claims,
+    checked empirically under every scenario the generator can produce.
+
+    Determinism: same [seed] + same scenario ⇒ an identical run, to the
+    byte, including any attached trace — which makes {!repro_json} a
+    complete reproduction of a failure. *)
+
+type outcome = {
+  seed : int64;
+  n : int;
+  scenario : Faults.Scenario.t;
+  completed : bool;
+      (** All client operations finished before the safety horizon. A
+          stall means the scenario (or a bug) cost the cluster liveness;
+          safety is still checked. *)
+  ops : int;  (** Operations in the checked history. *)
+  committed : int;  (** Highest FUO reached by any replica. *)
+  linearizable : bool;
+  violations : Mu.Invariants.violation list;
+}
+
+val passed : outcome -> bool
+(** Completed, linearizable, and invariant-clean. *)
+
+val pp_outcome : outcome Fmt.t
+
+val run :
+  ?trace:Trace.Tracer.t ->
+  ?clients:int ->
+  ?ops_per_client:int ->
+  ?horizon:int ->
+  seed:int64 ->
+  n:int ->
+  Faults.Scenario.t ->
+  outcome
+(** One chaos run. [horizon] (default 2 virtual seconds) bounds a stalled
+    run; writes still pending at the horizon stay in the history with an
+    open response interval, so a write that took effect but never
+    answered cannot fake a linearizability violation. *)
+
+(** {1 Minimized repro} *)
+
+val repro_json : outcome -> string
+(** Seed + n + scenario + violation summary, as one JSON document. *)
+
+val parse_repro : string -> (int64 * int * Faults.Scenario.t, string) result
+(** Recover the replay inputs from a repro file; {!run} on them
+    reproduces the failing run byte-identically. *)
+
+(** {1 Randomized sweep} *)
+
+type sweep = { runs : int; failures : outcome list }
+
+val sweep :
+  ?count:int ->
+  ?ns:int list ->
+  ?log:(int -> outcome -> unit) ->
+  seed:int64 ->
+  unit ->
+  sweep
+(** [sweep ~seed ()] runs [count] (default 50) random scenarios, cycling
+    cluster sizes through [ns] (default [[3; 5]]). Every run's seed is
+    drawn from a root PRNG seeded with [seed], and its scenario is
+    generated from that per-run seed — so each failure replays from one
+    64-bit number, and {!repro_json} of a failing outcome is a complete
+    repro. [log] observes every outcome as it completes. *)

@@ -3,10 +3,28 @@ type setup = {
   cal : Sim.Calibration.t;
   trace : Trace.Tracer.t option;
   metrics : Telemetry.Sampler.t option;
+  faults : Faults.Scenario.t option;
 }
 
 let default_setup =
-  { seed = 42L; cal = Sim.Calibration.default; trace = None; metrics = None }
+  { seed = 42L; cal = Sim.Calibration.default; trace = None; metrics = None;
+    faults = None }
+
+(* Inject the setup's fault scenario (if any) over a running Mu cluster;
+   scenario host ids are replica ids. Experiments that build their own
+   topologies (baselines, microbenchmarks) don't take fault scenarios —
+   chaos belongs to the cluster experiments and [Chaos.run]. *)
+let install_faults setup e smr =
+  match setup.faults with
+  | None -> ()
+  | Some scenario ->
+    let replicas = Mu.Smr.replicas smr in
+    Faults.Injector.install e
+      ~hosts:(fun pid ->
+        if pid >= 0 && pid < Array.length replicas then
+          Some replicas.(pid).Mu.Replica.host
+        else None)
+      scenario
 
 (* Run one simulation to completion of the experiment body. Each run is a
    fresh engine (virtual time restarts at 0), so a shared sampler opens a
@@ -134,6 +152,7 @@ let mu_latency_with_config setup ~samples ~payload ~attach cfg =
             Mu.Smr.stateless_app (fun _ -> Bytes.empty))
       in
       Mu.Smr.start ~client_service:false smr;
+      install_faults setup e smr;
       let leader = wait_for_leader e smr in
       let rng = Sim.Rng.split (Sim.Engine.rng e) in
       let out = Sim.Stats.Samples.create () in
@@ -410,6 +429,7 @@ let failover setup ~rounds =
             Mu.Smr.stateless_app (fun _ -> Bytes.empty))
       in
       Mu.Smr.start smr;
+      install_faults setup e smr;
       Mu.Smr.wait_live smr;
       let total = Sim.Stats.Samples.create () in
       let detection = Sim.Stats.Samples.create () in

@@ -17,6 +17,11 @@ type setup = {
           virtual time; each experiment run opens a new sampler epoch.
           Fail-over rounds additionally record [failover_*_ns]
           histograms. *)
+  faults : Faults.Scenario.t option;
+      (** When set, the scenario is injected over the Mu cluster of every
+          cluster experiment (replication latency, fail-over); scenario
+          host ids are replica ids. Experiments with private topologies
+          (baselines, microbenchmarks) ignore it. *)
 }
 
 val default_setup : setup

@@ -1,0 +1,201 @@
+(* Tests for the fault-injection subsystem (lib/faults) and the chaos
+   harness: scenario JSON round-trips, validation, the named library, the
+   randomized generator's safety properties, and the determinism guarantee
+   (same seed + scenario => byte-identical traces). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A scenario exercising every action constructor. *)
+let kitchen_sink : Faults.Scenario.t =
+  {
+    Faults.Scenario.name = "kitchen-sink";
+    events =
+      [
+        { at = 1_000_000; action = Faults.Scenario.Pause 1 };
+        { at = 2_000_000; action = Faults.Scenario.Resume 1 };
+        { at = 3_000_000; action = Faults.Scenario.Stop_process 2 };
+        { at = 4_000_000; action = Faults.Scenario.Kill_host 2 };
+        { at = 5_000_000; action = Faults.Scenario.Partition ([ 0 ], [ 1; 2 ]) };
+        { at = 6_000_000; action = Faults.Scenario.Block { src = 0; dst = 1 } };
+        { at = 7_000_000; action = Faults.Scenario.Unblock { src = 0; dst = 1 } };
+        { at = 8_000_000; action = Faults.Scenario.Delay { src = 1; dst = 0; ns = 5_000 } };
+        { at = 9_000_000; action = Faults.Scenario.Loss { src = 0; dst = 2; p = 0.25 } };
+        { at = 10_000_000; action = Faults.Scenario.Dup { src = 2; dst = 0; p = 0.1 } };
+        { at = 11_000_000; action = Faults.Scenario.Heal };
+        { at = 12_000_000; action = Faults.Scenario.Perm_fail { pid = 0; forced = true } };
+        { at = 13_000_000; action = Faults.Scenario.Perm_fail { pid = 0; forced = false } };
+      ];
+  }
+
+let json_round_trip () =
+  let s = Faults.Scenario.to_string kitchen_sink in
+  match Faults.Scenario.of_string s with
+  | Error m -> Alcotest.fail m
+  | Ok back ->
+    check "round-trips structurally" true (back = kitchen_sink);
+    (* Printing is deterministic: a second trip yields identical bytes. *)
+    Alcotest.(check string) "stable bytes" s (Faults.Scenario.to_string back)
+
+let json_rejects_garbage () =
+  let bad s =
+    match Faults.Scenario.of_string s with Error _ -> true | Ok _ -> false
+  in
+  check "not json" true (bad "{nope");
+  check "not an object" true (bad "[1,2]");
+  check "missing events" true (bad {|{"name":"x"}|});
+  check "unknown action" true
+    (bad {|{"name":"x","events":[{"at":1,"action":"explode","pid":0}]}|});
+  check "missing pid" true (bad {|{"name":"x","events":[{"at":1,"action":"pause"}]}|})
+
+let validation_catches_bad_scenarios () =
+  let invalid (s : Faults.Scenario.t) =
+    match Faults.Scenario.validate ~n:3 s with Error _ -> true | Ok () -> false
+  in
+  check "pid out of range" true
+    (invalid
+       { name = "bad"; events = [ { at = 1; action = Faults.Scenario.Pause 7 } ] });
+  check "negative time" true
+    (invalid
+       { name = "bad"; events = [ { at = -1; action = Faults.Scenario.Heal } ] });
+  check "self loop" true
+    (invalid
+       {
+         name = "bad";
+         events = [ { at = 1; action = Faults.Scenario.Block { src = 1; dst = 1 } } ];
+       });
+  check "probability > 1" true
+    (invalid
+       {
+         name = "bad";
+         events =
+           [ { at = 1; action = Faults.Scenario.Loss { src = 0; dst = 1; p = 1.5 } } ];
+       });
+  check "kitchen sink is valid" true
+    (match Faults.Scenario.validate ~n:3 kitchen_sink with Ok () -> true | Error _ -> false)
+
+let named_scenarios_resolve () =
+  check "crash-leader" true (Faults.Scenario.by_name ~n:3 "crash-leader" <> None);
+  check "partition-leader" true (Faults.Scenario.by_name ~n:3 "partition-leader" <> None);
+  check "lossy-fabric" true (Faults.Scenario.by_name ~n:5 "lossy-fabric" <> None);
+  check "unknown" true (Faults.Scenario.by_name ~n:3 "meteor-strike" = None);
+  List.iter
+    (fun name ->
+      match Faults.Scenario.by_name ~n:3 name with
+      | None -> Alcotest.fail ("named scenario vanished: " ^ name)
+      | Some s -> (
+        match Faults.Scenario.validate ~n:3 s with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail (name ^ ": " ^ m)))
+    Faults.Scenario.named
+
+(* Generated scenarios must always be valid and liveness-safe enough for
+   the sweep: every event inside the horizon, and permanent crashes
+   bounded by the minority budget (a majority must survive). *)
+let generator_produces_valid_scenarios () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun n ->
+          let s =
+            Faults.Scenario.generate (Sim.Rng.create seed) ~n ~horizon:40_000_000
+          in
+          (match Faults.Scenario.validate ~n s with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail (Printf.sprintf "seed %Ld n %d: %s" seed n m));
+          let crashes =
+            List.length
+              (List.filter
+                 (fun { Faults.Scenario.action; _ } ->
+                   match action with
+                   | Faults.Scenario.Stop_process _ | Faults.Scenario.Kill_host _ -> true
+                   | _ -> false)
+                 s.Faults.Scenario.events)
+          in
+          check "crashes within minority budget" true (crashes <= (n - 1) / 2);
+          List.iter
+            (fun { Faults.Scenario.at; _ } ->
+              check "event inside horizon" true (at >= 0 && at <= 40_000_000))
+            s.Faults.Scenario.events)
+        [ 3; 5 ])
+    [ 1L; 2L; 3L; 42L; -7L; 123456789L ]
+
+(* The tentpole guarantee: the same seed and scenario replay to the byte.
+   Two full chaos runs (cluster + clients + injected faults) must emit
+   identical traces; a different seed must not. *)
+let chaos_run_is_deterministic () =
+  let scenario =
+    Option.get (Faults.Scenario.by_name ~n:3 "crash-leader")
+  in
+  let trace seed =
+    let tr = Trace.Tracer.create ~capacity:65536 () in
+    let o = Workload.Chaos.run ~trace:tr ~seed ~n:3 scenario in
+    (Trace.Tracer.chrome_string tr, o)
+  in
+  let t1, o1 = trace 7L in
+  let t2, o2 = trace 7L in
+  Alcotest.(check string) "same seed, identical trace bytes" t1 t2;
+  check "same outcome" true (Workload.Chaos.passed o1 = Workload.Chaos.passed o2);
+  check_int "same op count" o1.Workload.Chaos.ops o2.Workload.Chaos.ops;
+  let t3, _ = trace 8L in
+  check "different seed diverges" true (t1 <> t3)
+
+let chaos_named_scenarios_pass () =
+  List.iter
+    (fun name ->
+      let scenario = Option.get (Faults.Scenario.by_name ~n:3 name) in
+      let o = Workload.Chaos.run ~seed:11L ~n:3 scenario in
+      if not (Workload.Chaos.passed o) then
+        Alcotest.fail (Fmt.str "%s: %a" name Workload.Chaos.pp_outcome o))
+    Faults.Scenario.named
+
+(* A minimized repro replays the exact run it came from. *)
+let repro_round_trips_and_replays () =
+  let scenario = Option.get (Faults.Scenario.by_name ~n:3 "partition-leader") in
+  let o = Workload.Chaos.run ~seed:21L ~n:3 scenario in
+  let repro = Workload.Chaos.repro_json o in
+  match Workload.Chaos.parse_repro repro with
+  | Error m -> Alcotest.fail m
+  | Ok (seed, n, scenario') ->
+    check "seed preserved" true (seed = 21L);
+    check_int "n preserved" 3 n;
+    check "scenario preserved" true (scenario' = scenario);
+    let o' = Workload.Chaos.run ~seed ~n scenario' in
+    check_int "replay: same ops" o.Workload.Chaos.ops o'.Workload.Chaos.ops;
+    check_int "replay: same committed" o.Workload.Chaos.committed
+      o'.Workload.Chaos.committed;
+    check "replay: same verdict" true
+      (Workload.Chaos.passed o = Workload.Chaos.passed o')
+
+(* A scenario that kills a majority must stall — and the stalled run must
+   still be judged safe (no invariant violation, incomplete ops handled)
+   rather than crash the harness. *)
+let chaos_majority_loss_stalls_safely () =
+  let scenario =
+    {
+      Faults.Scenario.name = "kill-majority";
+      events =
+        [
+          (* Before the cluster can even elect: no majority ever forms. *)
+          { at = 1_000; action = Faults.Scenario.Kill_host 0 };
+          { at = 1_000; action = Faults.Scenario.Kill_host 1 };
+        ];
+    }
+  in
+  let o = Workload.Chaos.run ~seed:5L ~n:3 ~horizon:300_000_000 scenario in
+  check "stalled" true (not o.Workload.Chaos.completed);
+  check "still linearizable" true o.Workload.Chaos.linearizable;
+  check "no invariant violations" true (o.Workload.Chaos.violations = [])
+
+let suite =
+  [
+    ("scenario json round-trip", `Quick, json_round_trip);
+    ("scenario json rejects garbage", `Quick, json_rejects_garbage);
+    ("scenario validation", `Quick, validation_catches_bad_scenarios);
+    ("named scenarios resolve", `Quick, named_scenarios_resolve);
+    ("generator produces valid scenarios", `Quick, generator_produces_valid_scenarios);
+    ("chaos run deterministic (trace bytes)", `Quick, chaos_run_is_deterministic);
+    ("named scenarios pass chaos", `Quick, chaos_named_scenarios_pass);
+    ("repro round-trips and replays", `Quick, repro_round_trips_and_replays);
+    ("majority loss stalls safely", `Quick, chaos_majority_loss_stalls_safely);
+  ]

@@ -19,6 +19,7 @@ let () =
       ("workload", Test_workload.suite);
       ("replayer-recycler", Test_replayer.suite);
       ("invariants", Test_invariants.suite);
+      ("faults", Test_faults.suite);
       ("misc", Test_misc.suite);
       ("trace", Test_trace.suite);
       ("telemetry", Test_telemetry.suite);

@@ -14,7 +14,11 @@ let bare_cluster ?(cfg = Mu.Config.default) () =
   Array.iter
     (fun (r : Mu.Replica.t) ->
       if r.Mu.Replica.id <> 0 then
-        Rdma.Qp.set_access (Mu.Replica.peer r 0).Mu.Replica.repl_qp Rdma.Verbs.access_rw)
+        Rdma.Qp.set_access (Mu.Replica.peer r 0).Mu.Replica.repl_qp Rdma.Verbs.access_rw;
+      (* Every replica (including 0 itself) regards 0 as the permission
+         holder, as after a completed permission round — the recycler
+         checks this before posting zeroing writes. *)
+      r.Mu.Replica.perm_holder <- Some 0)
     replicas;
   (e, replicas)
 

@@ -390,6 +390,82 @@ let partition_heals () =
       retry 5;
       check_agreement smr)
 
+(* --- recycler under revocation (§5.3 fault handling) ------------------------- *)
+
+(* Establish replica 0 as a leader with [entries] committed and every
+   replica's published log head at [entries]. *)
+let established_leader rs entries =
+  let leader = rs.(0) in
+  leader.Mu.Replica.role <- Mu.Replica.Leader;
+  leader.Mu.Replica.need_new_followers <- false;
+  leader.Mu.Replica.confirmed <-
+    Array.to_list rs |> List.filter_map (fun (r : Mu.Replica.t) ->
+        if r.Mu.Replica.id = 0 then None else Some r.Mu.Replica.id);
+  Array.iter
+    (fun (r : Mu.Replica.t) ->
+      for i = 0 to entries - 1 do
+        Test_replayer.fill_slot r i (string_of_int i)
+      done;
+      Mu.Log.set_fuo r.Mu.Replica.log entries;
+      r.Mu.Replica.applied <- entries;
+      Rdma.Mr.set_i64 r.Mu.Replica.bg_mr ~off:Mu.Replica.bg_log_head_offset
+        (Int64.of_int entries))
+    rs;
+  leader
+
+let run_recycle e (leader : Mu.Replica.t) =
+  let done_ = ref false in
+  Sim.Host.spawn leader.Mu.Replica.host ~name:"recycle" (fun () ->
+      Mu.Recycler.recycle_once leader;
+      done_ := true);
+  Sim.Engine.run ~until:(Sim.Engine.now e + 100_000_000) e;
+  check "recycle round finished" true !done_
+
+(* Regression: a failed log-head read on a *confirmed* follower (here its
+   misc-plane permissions were revoked) means the leader's view may be
+   stale; the round must be skipped — watermark untouched, failure counted
+   — not crash the leader or zero entries the follower still needs. *)
+let recycler_skips_on_revoked_head_read () =
+  let e, rs = Test_replayer.bare_cluster () in
+  let leader = established_leader rs 6 in
+  let f1 = rs.(1) in
+  Rdma.Qp.set_access (Mu.Replica.peer f1 0).Mu.Replica.misc_qp Rdma.Verbs.access_none;
+  run_recycle e leader;
+  check_int "round skipped, watermark held" 0 leader.Mu.Replica.zeroed_up_to;
+  check_int "skip counted" 1 leader.Mu.Replica.metrics.Mu.Metrics.recycle_skips;
+  check "read failure counted" true
+    (leader.Mu.Replica.metrics.Mu.Metrics.recycler_errors >= 1);
+  check "nothing zeroed at the revoked follower" true
+    (Mu.Log.read_slot f1.Mu.Replica.log 0 <> None);
+  (* Permission restored and the NAK-broken QP pair repaired (what the
+     permission plane does after a re-grant): the next round recycles the
+     full prefix. *)
+  Rdma.Qp.set_access (Mu.Replica.peer f1 0).Mu.Replica.misc_qp Rdma.Verbs.access_rw;
+  Rdma.Qp.repair (Mu.Replica.peer leader 1).Mu.Replica.misc_qp;
+  Rdma.Qp.repair (Mu.Replica.peer f1 0).Mu.Replica.misc_qp;
+  run_recycle e leader;
+  check_int "recovered round advances" 6 leader.Mu.Replica.zeroed_up_to
+
+(* Regression: a leader that lost the write permission mid-demotion must
+   not post zeroing writes (they would only manufacture error completions
+   for the propose path); the watermark stays put until it is leader with
+   permission again. *)
+let recycler_demote_safety_holds_watermark () =
+  let e, rs = Test_replayer.bare_cluster () in
+  let leader = established_leader rs 6 in
+  leader.Mu.Replica.perm_holder <- Some 1;
+  run_recycle e leader;
+  check_int "watermark held while deposed" 0 leader.Mu.Replica.zeroed_up_to;
+  check_int "cut-short round counted as skip" 1
+    leader.Mu.Replica.metrics.Mu.Metrics.recycle_skips;
+  check_int "no zeroing writes in flight" 0 leader.Mu.Replica.recycler_outstanding;
+  check "followers' copies intact" true (Mu.Log.read_slot rs.(1).Mu.Replica.log 0 <> None);
+  (* Back in charge: recycling resumes from the old watermark. *)
+  leader.Mu.Replica.perm_holder <- Some 0;
+  run_recycle e leader;
+  check_int "resumes after regaining permission" 6 leader.Mu.Replica.zeroed_up_to;
+  check "zeroing writes posted" true (leader.Mu.Replica.recycler_outstanding > 0)
+
 let suite =
   [
     ("basic propose commits", `Quick, basic_propose_commits);
@@ -412,4 +488,6 @@ let suite =
     ("grow confirmed followers", `Quick, grow_confirmed_followers);
     ("five replica cluster", `Quick, five_replica_cluster);
     ("partition heals", `Quick, partition_heals);
+    ("recycler skips on revoked head read", `Quick, recycler_skips_on_revoked_head_read);
+    ("recycler demote-safety holds watermark", `Quick, recycler_demote_safety_holds_watermark);
   ]
