@@ -6,7 +6,13 @@
    Usage: dune exec bench/main.exe [-- --quick] [-- --only fig4 --only fig6]
                                    [-- --seed N] [-- --bechamel] [-- --csv DIR]
                                    [-- --metrics FILE] [-- --metrics-interval NS]
-                                   [-- --results FILE] [-- --faults SCENARIO.json] *)
+                                   [-- --results FILE] [-- --faults SCENARIO.json]
+                                   [-- --history FILE | --no-history]
+                                   [-- --git-rev REV] [-- --stamp S]
+
+   Every run appends one JSONL line (schema mu-bench-results/1, tagged with
+   --git-rev / --stamp) to the history log so regressions are greppable
+   across commits; --no-history disables it. *)
 
 module E = Workload.Experiments
 
@@ -21,6 +27,9 @@ let metrics_file : string option ref = ref None
 let metrics_interval = ref 50_000
 let sampler : Telemetry.Sampler.t option ref = ref None
 let results_file = ref "BENCH_results.json"
+let history_file : string option ref = ref (Some "BENCH_history.jsonl")
+let git_rev = ref "unknown"
+let stamp = ref ""
 let faults_file : string option ref = ref None
 let faults : Faults.Scenario.t option ref = ref None
 let exit_code = ref 0
@@ -55,6 +64,18 @@ let () =
     | "--results" :: file :: rest ->
       results_file := file;
       parse rest
+    | "--history" :: file :: rest ->
+      history_file := Some file;
+      parse rest
+    | "--no-history" :: rest ->
+      history_file := None;
+      parse rest
+    | "--git-rev" :: rev :: rest ->
+      git_rev := rev;
+      parse rest
+    | "--stamp" :: s :: rest ->
+      stamp := s;
+      parse rest
     | "--faults" :: file :: rest ->
       faults_file := Some file;
       parse rest
@@ -80,7 +101,7 @@ let want id = (!only = [] && id <> "bechamel") || List.mem id !only || (id = "be
 
 let setup () =
   { E.seed = !seed; cal = Sim.Calibration.default; trace = !tracer; metrics = !sampler;
-    faults = !faults }
+    faults = !faults; provenance = false }
 
 (* Captured for BENCH_results.json and the acceptance checks. *)
 let mu_samples : Sim.Stats.Samples.t option ref = ref None
@@ -543,7 +564,7 @@ let () =
     Fmt.pr "@.Metrics written to %s@." file;
     Fmt.pr "%s" (Telemetry.Dashboard.render ~sampler:smp (Telemetry.Sampler.registry smp))
   | _ -> ());
-  (* --- BENCH_results.json -------------------------------------------------- *)
+  (* --- BENCH_results.json / BENCH_history.jsonl ---------------------------- *)
   (let b = Buffer.create 1024 in
    let samples_json s =
      Printf.sprintf "{\"p50\":%d,\"p99\":%d,\"p999\":%d}"
@@ -551,7 +572,6 @@ let () =
        (Sim.Stats.Samples.percentile s 99.0)
        (Sim.Stats.Samples.percentile s 99.9)
    in
-   Buffer.add_string b "{\"schema\":\"mu-bench-results/1\",";
    Buffer.add_string b (Printf.sprintf "\"seed\":%Ld,\"quick\":%b," !seed !quick);
    Buffer.add_string b
      (Printf.sprintf "\"figures\":[%s],"
@@ -575,11 +595,23 @@ let () =
        Buffer.add_string b
          (Printf.sprintf "{\"name\":\"%s\",\"ok\":%b,\"detail\":\"%s\"}" name ok detail))
      (List.rev !checks);
-   Buffer.add_string b "]}";
+   Buffer.add_string b "]";
+   let core = Buffer.contents b in
    let oc = open_out !results_file in
-   output_string oc (Buffer.contents b);
-   output_char oc '\n';
+   output_string oc ("{\"schema\":\"mu-bench-results/1\"," ^ core ^ "}\n");
    close_out oc;
-   Fmt.pr "@.Results written to %s@." !results_file);
+   Fmt.pr "@.Results written to %s@." !results_file;
+   (* Append one line per run to the history log, keyed by git revision and a
+      caller-supplied stamp (virtual or CI time — never sampled here, to keep
+      same-input runs byte-identical). *)
+   match !history_file with
+   | None -> ()
+   | Some file ->
+     let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file in
+     output_string oc
+       (Printf.sprintf "{\"schema\":\"mu-bench-results/1\",\"rev\":%S,\"stamp\":%S,%s}\n"
+          !git_rev !stamp core);
+     close_out oc;
+     Fmt.pr "History appended to %s@." file);
   Fmt.pr "@.done.@.";
   exit !exit_code

@@ -13,9 +13,9 @@
 
 open Cmdliner
 
-let setup_of ?trace ?metrics ?faults seed =
+let setup_of ?trace ?metrics ?faults ?(provenance = false) seed =
   { Workload.Experiments.seed = Int64.of_int seed; cal = Sim.Calibration.default; trace;
-    metrics; faults }
+    metrics; faults; provenance }
 
 (* --- fault scenarios ------------------------------------------------------ *)
 
@@ -423,6 +423,271 @@ let chaos_cmd =
       const run $ setup_logs $ seed_arg $ n_arg $ scenario_arg $ sweep_arg $ replay_arg
       $ repro_arg)
 
+(* --- explain ------------------------------------------------------------------ *)
+
+(* Post-mortem causal analysis: rerun an experiment with provenance spans
+   on, rebuild the span tree, and attribute where every request's time
+   went. Fully deterministic: all times are virtual ns printed as
+   fixed-point µs, so two runs with the same arguments produce
+   byte-identical output. *)
+
+module Prov = struct
+  module Tree = Provenance.Tree
+  module An = Provenance.Analyze
+end
+
+let explain_cmd =
+  let us = Trace.Chrome.fixed_ts in
+  let print_health tree =
+    (match Prov.Tree.check tree with
+    | [] -> Fmt.pr "span tree: %d spans, %d dropped, well-formed@." (Prov.Tree.size tree)
+              tree.Prov.Tree.dropped
+    | bad ->
+      Fmt.pr "span tree: %d spans, %d dropped, %d violations:@." (Prov.Tree.size tree)
+        tree.Prov.Tree.dropped (List.length bad);
+      List.iter (Fmt.pr "  %s@.") bad)
+  in
+  let print_epochs events =
+    match Prov.An.leader_timeline events with
+    | [] -> Fmt.pr "leader epochs: none recorded@."
+    | es ->
+      Fmt.pr "leader epochs:@.";
+      List.iter
+        (fun (ep : Prov.An.epoch) ->
+          Fmt.pr "  t=%sus  replica %d takes over (gen %d)@." (us ep.ets) ep.epid ep.gen)
+        es
+  in
+  let print_outlier tree rank (s : Prov.Tree.span) =
+    Fmt.pr "#%d  request span %d  pid %d  t=%sus  end-to-end %sus@." rank s.Prov.Tree.id
+      s.Prov.Tree.pid (us s.Prov.Tree.start)
+      (us (Prov.Tree.duration s));
+    let rows = Prov.An.phases tree s in
+    let sum = Prov.An.phase_sum rows in
+    Fmt.pr "    phase attribution (sums to %sus):@." (us sum);
+    List.iter
+      (fun (r : Prov.An.phase_row) ->
+        Fmt.pr "      %-18s %12sus  (%dx)@." r.phase (us r.total) r.count)
+      rows;
+    match Prov.An.peer_ios tree s with
+    | [] -> ()
+    | ios ->
+      Fmt.pr "    per-peer RDMA:@.";
+      List.iter
+        (fun (io : Prov.An.peer_io) ->
+          if io.acked < 0 then
+            Fmt.pr "      peer %d %-12s issued t=%sus  never acked@." io.peer io.op
+              (us io.issued)
+          else
+            Fmt.pr "      peer %d %-12s issued t=%sus  acked +%sus  (%s)@." io.peer io.op
+              (us io.issued)
+              (us (io.acked - io.issued))
+              io.status)
+        ios
+  in
+  let explain_latency seed samples payload top =
+    let tr = Trace.Tracer.create ~capacity:((samples + 200) * 256) () in
+    let setup = setup_of ~trace:tr ~provenance:true seed in
+    let (_ : Sim.Stats.Samples.t) =
+      Workload.Experiments.mu_replication_latency setup ~samples ~payload
+        ~attach:Mu.Config.Standalone
+    in
+    let events = Trace.Tracer.events tr in
+    let tree = Prov.Tree.of_events events in
+    Fmt.pr "=== explain: latency run (seed %d, %d measured requests, %dB payload) ===@."
+      seed samples payload;
+    print_health tree;
+    print_epochs events;
+    let reqs = Prov.An.requests tree in
+    let outliers = Prov.An.top_outliers tree ~k:top in
+    Fmt.pr "@.top %d tail outliers (of %d requests):@." (List.length outliers)
+      (List.length reqs);
+    List.iteri (fun i s -> print_outlier tree (i + 1) s) outliers;
+    (* Aggregate: where does a request's time go on average? *)
+    let acc = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (r : Prov.An.phase_row) ->
+            match Hashtbl.find_opt acc r.phase with
+            | Some t -> Hashtbl.replace acc r.phase (t + r.total)
+            | None ->
+              Hashtbl.replace acc r.phase r.total;
+              order := r.phase :: !order)
+          (Prov.An.phases tree s))
+      reqs;
+    let total = List.fold_left (fun t p -> t + Hashtbl.find acc p) 0 !order in
+    Fmt.pr "@.aggregate phase shares over %d requests:@." (List.length reqs);
+    List.iter
+      (fun p ->
+        let t = Hashtbl.find acc p in
+        Fmt.pr "  %-18s %14sus  %3d%%@." p (us t)
+          (if total = 0 then 0 else t * 100 / total))
+      (List.rev !order);
+    (tr, tree)
+  and explain_chaos seed n spec ops_opt =
+    let seed_override, n, scenario, is_repro =
+      if Sys.file_exists spec then begin
+        let s = read_file spec in
+        match Workload.Chaos.parse_repro s with
+        | Ok (seed, n, scenario) -> (Some seed, n, scenario, true)
+        | Error _ -> (
+          match Faults.Scenario.of_string s with
+          | Ok sc -> (None, n, sc, false)
+          | Error msg ->
+            Fmt.epr "%s: %s@." spec msg;
+            exit 2)
+      end
+      else (None, n, scenario_or_die ~n spec, false)
+    in
+    let seed = Option.value seed_override ~default:(Int64.of_int seed) in
+    (* A repro must replay the failing run exactly, so it keeps the
+       library's client defaults. For a plain scenario, think time
+       stretches a small history across the named faults (5 ms in) so
+       requests are genuinely in flight at the fail-over — more load
+       instead would explode the linearizability check. *)
+    let ops_per_client, think =
+      match ops_opt with
+      | Some v -> (Some v, Some 100_000)
+      | None -> if is_repro then (None, None) else (Some 60, Some 100_000)
+    in
+    let tr = Trace.Tracer.create ~capacity:(1 lsl 21) () in
+    let o =
+      Workload.Chaos.run ~trace:tr ~provenance:true ?ops_per_client ?think ~seed ~n
+        scenario
+    in
+    let events = Trace.Tracer.events tr in
+    let tree = Prov.Tree.of_events events in
+    Fmt.pr "=== explain: chaos run ===@.%a@." Workload.Chaos.pp_outcome o;
+    print_health tree;
+    print_epochs events;
+    let horizon =
+      List.fold_left (fun m (ev : Sim.Probe.event) -> max m ev.ts) 0 events
+    in
+    let windows =
+      Prov.An.windows tree ~horizon ~include_open:(not o.Workload.Chaos.completed)
+    in
+    (match windows with
+    | [] -> Fmt.pr "disruption windows: none@."
+    | ws ->
+      Fmt.pr "disruption windows:@.";
+      List.iter
+        (fun (w : Prov.An.window) ->
+          Fmt.pr "  %-10s pid %d  [%sus, %sus]  %sus@." w.wname w.wpid (us w.wstart)
+            (us w.wfinish)
+            (us (w.wfinish - w.wstart)))
+        ws);
+    let reports = Prov.An.request_reports tree in
+    let label (r : Prov.An.req_report) =
+      (* The chaos harness parents each request under a client_op span
+         carrying (proc, req, key, op). *)
+      match
+        Option.bind (Prov.Tree.span tree r.rid) (fun s ->
+            Prov.Tree.span tree s.Prov.Tree.parent)
+      with
+      | Some p when p.Prov.Tree.name = "client_op" ->
+        let a k = Option.value (Prov.Tree.arg p.Prov.Tree.args k) ~default:"?" in
+        Printf.sprintf "proc=%s req=%-3s %s(%s)" (a "proc") (a "req") (a "op") (a "key")
+      | _ -> "(unlabelled)"
+    in
+    let caught =
+      List.filter (Prov.An.open_across ~horizon windows) reports
+    in
+    Fmt.pr "@.requests open across a fail-over window: %d of %d@." (List.length caught)
+      (List.length reports);
+    List.iter
+      (fun (r : Prov.An.req_report) ->
+        Fmt.pr "  %-24s span %-5d submitted t=%sus  %s  pickups=%d requeues=%d retries=%d  slots=[%s]  -> %s@."
+          (label r) r.rid (us r.submitted)
+          (match r.replied with
+          | Some t -> Printf.sprintf "replied t=%sus" (us t)
+          | None -> "never replied")
+          r.pickups r.requeues r.retries
+          (String.concat "," (List.map string_of_int r.slots))
+          (Prov.An.outcome_name r.verdict))
+      caught;
+    let count v = List.length (List.filter (fun r -> r.Prov.An.verdict = v) reports) in
+    Fmt.pr "totals over %d requests: ok=%d retried=%d duplicated=%d lost=%d@."
+      (List.length reports) (count Prov.An.Ok) (count Prov.An.Retried)
+      (count Prov.An.Duplicated) (count Prov.An.Lost);
+    (tr, tree)
+  in
+  let run () seed samples payload top chaos_spec n ops json_file perfetto_file =
+    let tr, tree =
+      match chaos_spec with
+      | Some spec -> explain_chaos seed n spec ops
+      | None -> explain_latency seed samples payload top
+    in
+    (match json_file with
+    | Some file ->
+      Provenance.Export.write_json file tree;
+      Fmt.pr "@.span tree written to %s@." file
+    | None -> ());
+    match perfetto_file with
+    | Some file ->
+      Trace.Chrome.write_file file
+        ~extra:(Provenance.Export.trace_events tree)
+        ~processes:(Trace.Tracer.processes tr) ~threads:(Trace.Tracer.threads tr)
+        (Trace.Tracer.events tr);
+      Fmt.pr "Perfetto trace with provenance overlay written to %s@." file
+    | None -> ()
+  in
+  let top_arg =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc:"Tail outliers to dissect.")
+  in
+  let payload =
+    Arg.(value & opt int 64 & info [ "payload" ] ~docv:"BYTES" ~doc:"Request payload size.")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SCENARIO"
+          ~doc:
+            "Explain a chaos run instead of a latency run: a named scenario \
+             (crash-leader, partition-leader, lossy-fabric), a scenario JSON file, or a \
+             minimized repro written by 'mu_demo chaos --repro' (which pins seed and \
+             cluster size).")
+  in
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Replicas (chaos mode).")
+  in
+  let ops_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~docv:"N"
+          ~doc:
+            "Operations per chaos client (default: 60 with 100us think time, which \
+             stretches the run across the named scenarios' fault windows; repro files \
+             keep the original run's parameters).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the reconstructed span tree (schema mu-provenance/1) to $(docv).")
+  in
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace with the provenance overlay (nestable-async spans + \
+             causal flow arrows) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Re-run an experiment with causal provenance on and attribute each request's \
+          latency to protocol phases; in chaos mode, reconstruct the fate of every \
+          request caught in a fail-over (retried, duplicated, lost).")
+    Term.(
+      const run $ setup_logs $ seed_arg $ samples_arg 2_000 $ payload $ top_arg
+      $ chaos_arg $ n_arg $ ops_arg $ json_arg $ perfetto_arg)
+
 (* --- report ------------------------------------------------------------------ *)
 
 let report_cmd =
@@ -467,4 +732,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "mu_demo" ~doc)
           [ latency_cmd; compare_cmd; failover_cmd; throughput_cmd; detectors_cmd;
-            metrics_cmd; chaos_cmd; report_cmd ]))
+            metrics_cmd; chaos_cmd; explain_cmd; report_cmd ]))

@@ -22,15 +22,53 @@ let apply e ~hosts action =
   | Scenario.Perm_fail { pid; forced } ->
     Sim.Fabric.force_perm_failure fabric ~pid forced
 
+(* First-class instant events per injection: a stable event name per
+   action kind plus structured target args, so Perfetto can line faults up
+   with spans (and `mu_demo explain` can window fail-overs) instead of
+   parsing pretty-printed text. *)
+let action_event = function
+  | Scenario.Pause pid -> ("fault_pause", [ ("pid", string_of_int pid) ])
+  | Scenario.Resume pid -> ("fault_resume", [ ("pid", string_of_int pid) ])
+  | Scenario.Stop_process pid -> ("fault_stop_process", [ ("pid", string_of_int pid) ])
+  | Scenario.Kill_host pid -> ("fault_kill_host", [ ("pid", string_of_int pid) ])
+  | Scenario.Partition (a, b) ->
+    let side l = String.concat "," (List.map string_of_int l) in
+    ("fault_partition", [ ("a", side a); ("b", side b) ])
+  | Scenario.Block { src; dst } ->
+    ("fault_block", [ ("src", string_of_int src); ("dst", string_of_int dst) ])
+  | Scenario.Unblock { src; dst } ->
+    ("fault_unblock", [ ("src", string_of_int src); ("dst", string_of_int dst) ])
+  | Scenario.Delay { src; dst; ns } ->
+    ( "fault_delay",
+      [ ("src", string_of_int src); ("dst", string_of_int dst); ("ns", string_of_int ns) ]
+    )
+  | Scenario.Loss { src; dst; p } ->
+    ( "fault_loss",
+      [ ("src", string_of_int src); ("dst", string_of_int dst); ("p", Fmt.str "%g" p) ] )
+  | Scenario.Dup { src; dst; p } ->
+    ( "fault_dup",
+      [ ("src", string_of_int src); ("dst", string_of_int dst); ("p", Fmt.str "%g" p) ] )
+  | Scenario.Heal -> ("fault_heal", [])
+  | Scenario.Perm_fail { pid; forced } ->
+    ( "fault_perm_fail",
+      [ ("pid", string_of_int pid); ("forced", if forced then "1" else "0") ] )
+
 let install e ~hosts (s : Scenario.t) =
   List.iter
     (fun { Scenario.at; action } ->
       Sim.Engine.schedule e ~at (fun () ->
           (* Annotate the injection itself so dashboards and Perfetto
              traces show where faults begin and end. *)
-          if Sim.Engine.traced e then
+          if Sim.Engine.traced e then begin
+            let name, targs = action_event action in
             Sim.Engine.trace_instant e ~cat:"fault"
-              ~args:[ ("scenario", s.Scenario.name) ]
-              (Fmt.str "%a" Scenario.pp_action action);
+              ~args:
+                (targs
+                @ [
+                    ("scenario", s.Scenario.name);
+                    ("action", Fmt.str "%a" Scenario.pp_action action);
+                  ])
+              name
+          end;
           apply e ~hosts action))
     s.Scenario.events

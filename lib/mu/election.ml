@@ -87,7 +87,25 @@ let monitor_fiber t (p : Replica.peer) =
           Sim.Engine.trace_instant e ~cat:"mu" ~pid:t.Replica.id
             ~args:
               [ ("peer", string_of_int p.Replica.pid); ("score", string_of_int score) ]
-            name
+            name;
+        (* Provenance: suspecting the replica we believed was leader opens
+           an election span — closed by the role fiber on takeover, or here
+           when the suspicion turns out to be a false alarm. *)
+        if verdict = false && p.Replica.pid = t.Replica.leader_estimate
+           && t.Replica.election_span = 0
+        then
+          t.Replica.election_span <-
+            Sim.Engine.span_open e ~pid:t.Replica.id ~parent:0
+              ~args:[ ("suspect", string_of_int p.Replica.pid) ]
+              "election"
+        else if verdict && t.Replica.election_span <> 0
+                && p.Replica.pid < t.Replica.id
+        then begin
+          Sim.Engine.span_close e ~pid:t.Replica.id
+            ~args:[ ("outcome", "false_alarm") ]
+            t.Replica.election_span;
+          t.Replica.election_span <- 0
+        end
       in
       if alive && score < c.Sim.Calibration.score_fail then flip false "suspect"
       else if (not alive) && score > c.Sim.Calibration.score_recover then
@@ -125,6 +143,14 @@ let role_fiber t ~on_role_change =
           Sim.Engine.trace_instant e ~cat:"mu" ~pid:t.Replica.id
             ~args:[ ("gen", string_of_int t.Replica.role_generation) ]
             "leader";
+        if t.Replica.election_span <> 0 then begin
+          Sim.Engine.span_close e ~pid:t.Replica.id
+            ~args:
+              [ ("outcome", "leader");
+                ("gen", string_of_int t.Replica.role_generation) ]
+            t.Replica.election_span;
+          t.Replica.election_span <- 0
+        end;
         on_role_change Replica.Leader
       | Replica.Leader, false ->
         t.Replica.role <- Replica.Follower;

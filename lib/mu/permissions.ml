@@ -59,6 +59,10 @@ let handle_request t requester gen =
       m "t=%dns replica %d grants write access to %d (gen %Ld)"
         (Sim.Engine.now (Replica.engine t))
         t.Replica.id requester gen);
+  Sim.Engine.span_scope (Replica.engine t) ~pid:t.Replica.id
+    ~args:[ ("requester", string_of_int requester) ]
+    "perm_grant"
+  @@ fun () ->
   Sim.Engine.trace_span (Replica.engine t) ~cat:"mu" ~pid:t.Replica.id
     ~args:[ ("requester", string_of_int requester) ]
     "perm_grant"

@@ -129,6 +129,10 @@ let recycle_once t =
     if min_head > t.Replica.zeroed_up_to then begin
       let count = min_head - t.Replica.zeroed_up_to in
       let complete =
+        Sim.Engine.span_scope (Replica.engine t) ~pid:t.Replica.id
+          ~args:[ ("slots", string_of_int count) ]
+          "recycle"
+        @@ fun () ->
         Sim.Engine.trace_span (Replica.engine t) ~cat:"mu" ~pid:t.Replica.id
           ~args:[ ("slots", string_of_int count) ]
           "recycle"

@@ -39,6 +39,7 @@ type t = {
   mutable wr_seq : int;
   inflight : (int, int * int) Hashtbl.t;
   mutable propose_started_at : int option;
+  mutable election_span : int;
   mutable applied : int;
   mutable on_commit : int -> bytes -> unit;
   mutable zeroed_up_to : int;
@@ -101,6 +102,7 @@ let create_unwired eng calib config ~id =
     wr_seq = 0;
     inflight = Hashtbl.create 64;
     propose_started_at = None;
+    election_span = 0;
     applied = 0;
     on_commit = (fun _ _ -> ());
     zeroed_up_to = 0;

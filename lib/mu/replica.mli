@@ -59,6 +59,10 @@ type t = {
   mutable wr_seq : int;
   inflight : (int, int * int) Hashtbl.t;  (** wr_id → (peer id, tag). *)
   mutable propose_started_at : int option;  (** For fate sharing (§5.1). *)
+  mutable election_span : int;
+      (** Provenance span open from the moment this replica suspects its
+          leader estimate until it takes over (or the suspicion clears);
+          0 when no election is in flight or provenance is off. *)
   (* --- execution --- *)
   mutable applied : int;  (** Log head: entries injected into the app. *)
   mutable on_commit : int -> bytes -> unit;

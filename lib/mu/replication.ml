@@ -6,9 +6,14 @@ module L = (val Logs.src_log log_src : Logs.LOG)
 
 (* Protocol-phase span, attributed to this replica's host. A span's end
    event is emitted even when the phase aborts (trace_span uses
-   Fun.protect), so traces of failed rounds stay well-nested. *)
+   Fun.protect), so traces of failed rounds stay well-nested. With
+   provenance on, the phase is also a stack-scoped provenance span: nested
+   phases parent naturally, and the RDMA posts issued inside become its
+   per-peer children. *)
 let tspan t name f =
-  Sim.Engine.trace_span (Replica.engine t) ~cat:"mu" ~pid:t.Replica.id name f
+  let e = Replica.engine t in
+  Sim.Engine.span_scope e ~pid:t.Replica.id name @@ fun () ->
+  Sim.Engine.trace_span e ~cat:"mu" ~pid:t.Replica.id name f
 
 let abort t reason =
   L.debug (fun m ->

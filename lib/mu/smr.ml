@@ -2,7 +2,16 @@ type app = { apply : bytes -> bytes; snapshot : unit -> bytes; install : bytes -
 
 let stateless_app apply = { apply; snapshot = (fun () -> Bytes.empty); install = ignore }
 
-type request = { payload : bytes; resp : bytes Sim.Engine.Ivar.ivar }
+type request = {
+  payload : bytes;
+  resp : bytes Sim.Engine.Ivar.ivar;
+  (* Provenance root span of this request (0 when provenance is off) and
+     its submit time; both are stable across retries, requeues and leader
+     changes — the id is what `mu_demo explain` follows through the
+     fail-over. *)
+  prov : int;
+  submitted : int;
+}
 
 type t = {
   engine : Sim.Engine.t;
@@ -14,6 +23,14 @@ type t = {
   (* Leader-side response cache: (replica id, slot index) → responses of
      the batch committed at that slot, filled by the on-commit hook. *)
   responses : (int * int, bytes list) Hashtbl.t;
+  (* Provenance: payload image → request span, so the commit hook — which
+     only sees decoded payload bytes — can stamp an "applied" point per
+     (request, slot). A request applied under two slots is a duplicate. *)
+  prov_requests : (string, int) Hashtbl.t;
+  (* Provenance span of the last establish() (perm switch / fail-over
+     takeover) and when it finished, for blocked-by edges at pickup. *)
+  mutable establish_span : int;
+  mutable establish_end : int;
   mutable next_id : int;
   mutable stopped : bool;
 }
@@ -120,6 +137,16 @@ let install_commit_hook t (r : Replica.t) =
       | Some payloads ->
         let app = t.apps.(r.Replica.id) in
         let resps = List.map (fun p -> app.apply p) payloads in
+        if Sim.Engine.provenance_on t.engine then
+          List.iter
+            (fun p ->
+              match Hashtbl.find_opt t.prov_requests (Bytes.to_string p) with
+              | Some span ->
+                Sim.Engine.span_point t.engine ~pid:r.Replica.id ~span "applied"
+                  ~args:
+                    [ ("idx", string_of_int idx); ("replica", string_of_int r.Replica.id) ]
+              | None -> ())
+            payloads;
         if r.Replica.role = Replica.Leader then
           Hashtbl.replace t.responses (r.Replica.id, idx) resps)
 
@@ -135,17 +162,41 @@ let stage_cost t payload_len =
   t.calibration.Sim.Calibration.memcpy_request
   + int_of_float (float_of_int payload_len *. t.calibration.Sim.Calibration.memcpy_byte)
 
-let requeue t reqs = List.iter (fun req -> Sim.Engine.Chan.send t.incoming req) reqs
+let requeue t reqs =
+  List.iter
+    (fun req ->
+      Sim.Engine.span_point t.engine ~span:req.prov "requeue";
+      Sim.Engine.Chan.send t.incoming req)
+    reqs
 
 let fill_responses t (r : Replica.t) idx reqs =
   match Hashtbl.find_opt t.responses (r.Replica.id, idx) with
   | Some resps when List.length resps = List.length reqs ->
     Hashtbl.remove t.responses (r.Replica.id, idx);
-    List.iter2 (fun req resp -> ignore (Sim.Engine.Ivar.try_fill req.resp resp)) reqs resps
+    List.iter2
+      (fun req resp ->
+        if Sim.Engine.Ivar.try_fill req.resp resp then
+          Sim.Engine.span_close t.engine ~args:[ ("idx", string_of_int idx) ] req.prov)
+      reqs resps
   | Some _ | None ->
     (* The batch executed under a different role or got superseded; the
        requests were (or will be) re-proposed. *)
     ()
+
+(* Provenance at batch formation: a "pickup" point per request (queueing
+   time = pickup − submit), a batched_into edge to the batch span, and a
+   blocked_by edge when the request sat in the queue behind a fail-over
+   takeover (establish). *)
+let prov_pickup t batch_span reqs =
+  if Sim.Engine.provenance_on t.engine then
+    List.iter
+      (fun req ->
+        Sim.Engine.span_point t.engine ~span:req.prov "pickup";
+        Sim.Engine.span_edge t.engine ~kind:"batched_into" ~src:req.prov ~dst:batch_span ();
+        if req.submitted < t.establish_end && req.prov <> 0 then
+          Sim.Engine.span_edge t.engine ~kind:"blocked_by" ~src:req.prov
+            ~dst:t.establish_span ())
+      reqs
 
 let gather_batch t first =
   let rec go acc k =
@@ -157,13 +208,22 @@ let gather_batch t first =
   in
   go [ first ] (t.cfg.Config.max_batch - 1)
 
-let establish () (r : Replica.t) =
-  try
-    ignore (Replication.propose r noop);
-    true
-  with Replication.Aborted _ ->
-    Sim.Host.idle r.Replica.host 50_000;
-    false
+let establish t (r : Replica.t) =
+  Sim.Engine.with_span t.engine ~pid:r.Replica.id "establish" @@ fun span ->
+  if span <> 0 then begin
+    t.establish_span <- span;
+    t.establish_end <- max_int (* open: everything queued now is blocked *)
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      if span <> 0 then t.establish_end <- Sim.Engine.now t.engine)
+    (fun () ->
+      try
+        ignore (Replication.propose r noop);
+        true
+      with Replication.Aborted _ ->
+        Sim.Host.idle r.Replica.host 50_000;
+        false)
 
 (* Simple service: one propose at a time (Figs. 3-5 configuration). *)
 let serve_simple t (r : Replica.t) =
@@ -174,6 +234,11 @@ let serve_simple t (r : Replica.t) =
     if r.Replica.role <> Replica.Leader then requeue t [ first ]
     else begin
       let reqs = gather_batch t first in
+      Sim.Engine.with_span t.engine ~pid:r.Replica.id
+        ~args:[ ("reqs", string_of_int (List.length reqs)) ]
+        "batch"
+      @@ fun batch_span ->
+      prov_pickup t batch_span reqs;
       Sim.Host.cpu r.Replica.host (attach_cost t);
       List.iter
         (fun req -> Sim.Host.cpu r.Replica.host (stage_cost t (Bytes.length req.payload)))
@@ -185,13 +250,17 @@ let serve_simple t (r : Replica.t) =
     end
 
 (* Pipelined service: a window of outstanding slot writes (Fig. 7). *)
-type pending = { idx : int; mutable acks : int; reqs : request list }
+type pending = { idx : int; mutable acks : int; reqs : request list; bspan : int }
 
 let serve_pipelined t (r : Replica.t) =
   let c = Replica.cal r in
   let pending : pending Queue.t = Queue.create () in
   let restore_pending () =
-    Queue.iter (fun slot -> requeue t slot.reqs) pending;
+    Queue.iter
+      (fun slot ->
+        Sim.Engine.span_close t.engine ~args:[ ("outcome", "aborted") ] slot.bspan;
+        requeue t slot.reqs)
+      pending;
     Queue.clear pending
   in
   try
@@ -213,10 +282,17 @@ let serve_pipelined t (r : Replica.t) =
             reqs;
           let idx = Log.fuo r.Replica.log + Queue.length pending in
           Replication.wait_log_space r ~idx;
+          let bspan =
+            Sim.Engine.span_open t.engine ~pid:r.Replica.id
+              ~args:
+                [ ("reqs", string_of_int (List.length reqs)); ("idx", string_of_int idx) ]
+              "batch"
+          in
+          prov_pickup t bspan reqs;
           let value = encode_batch (List.map (fun req -> req.payload) reqs) in
           let img = Log.encode_slot r.Replica.log ~proposal:r.Replica.prop_num ~value in
           Replication.post_accept r ~tag:idx ~idx ~img;
-          Queue.push { idx; acks = 0; reqs } pending;
+          Queue.push { idx; acks = 0; reqs; bspan } pending;
           filled := true
         | None -> ()
       end;
@@ -244,6 +320,7 @@ let serve_pipelined t (r : Replica.t) =
           if Sim.Engine.traced e then
             Sim.Engine.trace_counter e ~cat:"mu" ~pid:r.Replica.id "fuo"
               ~value:(head.idx + 1);
+          Sim.Engine.span_close t.engine ~args:[ ("outcome", "committed") ] head.bspan;
           fill_responses t r head.idx head.reqs;
           committed := true
         end
@@ -264,7 +341,7 @@ let leader_service t (r : Replica.t) =
     else begin
       (if r.Replica.role <> Replica.Leader then
          Sim.Host.idle r.Replica.host c.Sim.Calibration.fd_read_interval
-       else if r.Replica.need_new_followers then ignore (establish () r)
+       else if r.Replica.need_new_followers then ignore (establish t r)
        else if pipelined then serve_pipelined t r
        else serve_simple t r);
       loop ()
@@ -287,6 +364,9 @@ let create eng calibration cfg ~make_app =
       apps;
       incoming = Sim.Engine.Chan.create eng;
       responses = Hashtbl.create 64;
+      prov_requests = Hashtbl.create 64;
+      establish_span = 0;
+      establish_end = 0;
       next_id = cfg.Config.n;
       stopped = false;
     }
@@ -334,13 +414,29 @@ let client_retry_interval = 2_000_000
 
 let submit_async ?(retry = true) t payload =
   let resp = Sim.Engine.Ivar.create t.engine in
-  let req = { payload; resp } in
+  let prov =
+    if not (Sim.Engine.provenance_on t.engine) then 0
+    else begin
+      (* Parent is the submitting fiber's current span, if any — the chaos
+         harness wraps each client op in a span carrying (proc, key, op),
+         which then labels the request in `mu_demo explain`. *)
+      let span =
+        Sim.Engine.span_open t.engine
+          ~args:[ ("len", string_of_int (Bytes.length payload)) ]
+          "request"
+      in
+      Hashtbl.replace t.prov_requests (Bytes.to_string payload) span;
+      span
+    end
+  in
+  let req = { payload; resp; prov; submitted = Sim.Engine.now t.engine } in
   Sim.Engine.Chan.send t.incoming req;
   if retry then
     Sim.Engine.spawn t.engine ~name:"client-retry" (fun () ->
         let rec watch () =
           Sim.Engine.sleep t.engine client_retry_interval;
           if (not (Sim.Engine.Ivar.is_filled resp)) && not t.stopped then begin
+            Sim.Engine.span_point t.engine ~span:prov "client_retry";
             Sim.Engine.Chan.send t.incoming req;
             watch ()
           end

@@ -1,0 +1,198 @@
+(* Post-mortem analysis over a reconstructed span tree: phase attribution,
+   tail outliers, leader-epoch timeline, and fail-over request forensics.
+
+   Phase attribution uses only sync spans. They nest strictly per fiber, so
+   exclusive times telescope: for any root whose sync descendants are all
+   closed, the phase rows sum to the root's duration exactly. Detached spans
+   (per-peer RDMA writes, pipelined batches, elections) overlap siblings and
+   are reported separately. *)
+
+type phase_row = { phase : string; total : int; count : int }
+
+let sync_children t (s : Tree.span) =
+  List.filter_map
+    (fun id ->
+      match Tree.span t id with
+      | Some c when c.Tree.sync && not (Tree.is_open c) -> Some c
+      | _ -> None)
+    s.Tree.children
+
+(* Exclusive time of [s] = duration minus time covered by closed sync
+   children (they never overlap each other). Open children contribute
+   nothing and their window stays with the parent, keeping the sum exact. *)
+let exclusive t (s : Tree.span) =
+  Tree.duration s - List.fold_left (fun acc c -> acc + Tree.duration c) 0 (sync_children t s)
+
+let phases t (root : Tree.span) =
+  let acc = Hashtbl.create 16 in
+  let order = ref [] in
+  let add name v =
+    match Hashtbl.find_opt acc name with
+    | Some (total, count) -> Hashtbl.replace acc name (total + v, count + 1)
+    | None ->
+      Hashtbl.replace acc name (v, 1);
+      order := name :: !order
+  in
+  let rec walk s =
+    add s.Tree.name (exclusive t s);
+    List.iter walk (sync_children t s)
+  in
+  walk root;
+  List.rev_map
+    (fun phase ->
+      let total, count = Hashtbl.find acc phase in
+      { phase; total; count })
+    !order
+
+let phase_sum rows = List.fold_left (fun acc r -> acc + r.total) 0 rows
+
+(* Detached descendants carrying a "peer" arg — the per-follower RDMA write
+   spans under an accept/prepare — for quorum-straggler attribution. *)
+type peer_io = { peer : int; op : string; issued : int; acked : int; status : string }
+
+let peer_ios t (root : Tree.span) =
+  let rec walk acc (s : Tree.span) =
+    let acc =
+      List.fold_left
+        (fun acc id -> match Tree.span t id with Some c -> walk acc c | None -> acc)
+        acc s.Tree.children
+    in
+    if s.Tree.sync then acc
+    else
+      match Tree.int_arg s.Tree.args "peer" with
+      | Some peer ->
+        {
+          peer;
+          op = s.Tree.name;
+          issued = s.Tree.start;
+          acked = s.Tree.finish;
+          status = Option.value (Tree.arg s.Tree.end_args "status") ~default:"open";
+        }
+        :: acc
+      | None -> acc
+  in
+  List.sort
+    (fun a b -> compare (a.issued, a.peer) (b.issued, b.peer))
+    (walk [] root)
+
+(* Requests: every span named "request" — sync ones from the latency
+   harness, detached ones from [Smr.submit_async]. *)
+
+let requests t =
+  List.filter (fun (s : Tree.span) -> s.Tree.name = "request") (Tree.spans t)
+
+let top_outliers t ~k =
+  let closed = List.filter (fun s -> not (Tree.is_open s)) (requests t) in
+  let by_slowest a b =
+    match compare (Tree.duration b) (Tree.duration a) with
+    | 0 -> compare a.Tree.id b.Tree.id
+    | c -> c
+  in
+  List.filteri (fun i _ -> i < k) (List.sort by_slowest closed)
+
+(* Leader-epoch timeline, straight from the cat="mu" role-change instants
+   (these exist whenever tracing is on, independent of provenance). *)
+
+type epoch = { ets : int; epid : int; gen : int }
+
+let leader_timeline events =
+  List.filter_map
+    (fun (ev : Sim.Probe.event) ->
+      if ev.cat = "mu" && ev.kind = Sim.Probe.Instant && ev.name = "leader" then
+        Some
+          {
+            ets = ev.ts;
+            epid = ev.pid;
+            gen = Option.value (Tree.int_arg ev.args "gen") ~default:0;
+          }
+      else None)
+    events
+
+(* Fail-over forensics. A request's lifecycle is recorded as points on its
+   span: "pickup" (leader dequeued it into a batch), "requeue" (batch
+   aborted by fail-over), "client_retry" (client resent after timeout),
+   "applied" (a replica executed it at a log slot — one point per replica,
+   so distinct slots > 1 means the request landed twice in the log). *)
+
+type outcome = Ok | Retried | Duplicated | Lost
+
+let outcome_name = function
+  | Ok -> "ok"
+  | Retried -> "retried"
+  | Duplicated -> "duplicated"
+  | Lost -> "lost"
+
+type req_report = {
+  rid : int;
+  rpid : int;
+  submitted : int;
+  replied : int option;
+  retries : int;
+  requeues : int;
+  pickups : int;
+  slots : int list;  (* distinct log slots applied at, ascending *)
+  verdict : outcome;
+}
+
+let report t (s : Tree.span) =
+  let pts = Tree.points_of t s.Tree.id in
+  let count name = List.length (List.filter (fun p -> p.Tree.pname = name) pts) in
+  let slots =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (p : Tree.point) ->
+           if p.pname = "applied" then Tree.int_arg p.pargs "idx" else None)
+         pts)
+  in
+  let retries = count "client_retry" in
+  let requeues = count "requeue" in
+  let pickups = count "pickup" in
+  let replied = if Tree.is_open s then None else Some s.Tree.finish in
+  let verdict =
+    if List.length slots > 1 then Duplicated
+    else if replied = None then Lost
+    else if retries > 0 || requeues > 0 || pickups > 1 then Retried
+    else Ok
+  in
+  { rid = s.Tree.id; rpid = s.Tree.pid; submitted = s.Tree.start; replied;
+    retries; requeues; pickups; slots; verdict }
+
+let request_reports t = List.map (report t) (requests t)
+
+(* Disruption windows: elections that actually elected (suspicion ->
+   takeover) and leader establishment (catch-up + update-followers). A
+   request was "open across" a window if its [submitted, replied] interval
+   overlaps it.
+
+   False-alarm elections are excluded — the real leader kept serving — and
+   so are elections still open at the end of a run that completed: a
+   replica can keep suspecting a crashed non-leader forever without
+   impeding anyone. [include_open] (for stalled runs) counts those too,
+   clamped to [horizon]. *)
+
+type window = { wname : string; wpid : int; wstart : int; wfinish : int }
+
+let windows t ~horizon ~include_open =
+  List.filter_map
+    (fun (s : Tree.span) ->
+      let mk () =
+        Some
+          {
+            wname = s.Tree.name;
+            wpid = s.Tree.pid;
+            wstart = s.Tree.start;
+            wfinish = (if Tree.is_open s then horizon else s.Tree.finish);
+          }
+      in
+      match s.Tree.name with
+      | "establish" -> mk ()
+      | "election" ->
+        if Tree.is_open s then if include_open then mk () else None
+        else if Tree.arg s.Tree.end_args "outcome" = Some "leader" then mk ()
+        else None
+      | _ -> None)
+    (Tree.spans t)
+
+let open_across ~horizon ws (r : req_report) =
+  let finish = Option.value r.replied ~default:horizon in
+  List.exists (fun w -> r.submitted < w.wfinish && finish > w.wstart) ws

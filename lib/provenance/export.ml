@@ -1,0 +1,134 @@
+(* Span-tree exporters: a standalone JSON document (schema
+   "mu-provenance/1") and Chrome-trace extra events (nestable-async phases
+   per span + flow arrows per causal edge) to overlay on the regular
+   Perfetto export.
+
+   Determinism rules match Trace.Chrome: integer virtual-ns timestamps (the
+   JSON document) or fixed-point µs via Chrome.fixed_ts (trace events),
+   strings escaped by Chrome.json_string, spans in ascending id, edges and
+   points in stream order. Same seed => byte-identical output. *)
+
+let add_args b args =
+  Stdlib.Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Stdlib.Buffer.add_char b ',';
+      Stdlib.Buffer.add_string b (Trace.Chrome.json_string k);
+      Stdlib.Buffer.add_char b ':';
+      Stdlib.Buffer.add_string b (Trace.Chrome.json_string v))
+    args;
+  Stdlib.Buffer.add_char b '}'
+
+let add_span b (s : Tree.span) =
+  Stdlib.Buffer.add_string b
+    (Printf.sprintf "{\"id\":%d,\"parent\":%d,\"name\":%s,\"pid\":%d,\"tid\":%d" s.Tree.id
+       s.Tree.parent
+       (Trace.Chrome.json_string s.Tree.name)
+       s.Tree.pid s.Tree.tid);
+  Stdlib.Buffer.add_string b
+    (Printf.sprintf ",\"start\":%d,\"end\":%d,\"sync\":%b,\"args\":" s.Tree.start s.Tree.finish
+       s.Tree.sync);
+  add_args b s.Tree.args;
+  Stdlib.Buffer.add_string b ",\"end_args\":";
+  add_args b s.Tree.end_args;
+  Stdlib.Buffer.add_string b ",\"children\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Stdlib.Buffer.add_char b ',';
+      Stdlib.Buffer.add_string b (string_of_int c))
+    s.Tree.children;
+  Stdlib.Buffer.add_string b "]}"
+
+let json_string (t : Tree.t) =
+  let b = Stdlib.Buffer.create 65536 in
+  Stdlib.Buffer.add_string b "{\"schema\":\"mu-provenance/1\",\"spans\":[\n";
+  let first = ref true in
+  let sep () = if !first then first := false else Stdlib.Buffer.add_string b ",\n" in
+  Tree.fold t
+    (fun () s ->
+      sep ();
+      add_span b s)
+    ();
+  Stdlib.Buffer.add_string b "\n],\"edges\":[";
+  List.iteri
+    (fun i (e : Tree.edge) ->
+      if i > 0 then Stdlib.Buffer.add_char b ',';
+      Stdlib.Buffer.add_string b
+        (Printf.sprintf "\n{\"src\":%d,\"dst\":%d,\"kind\":%s,\"ts\":%d}" e.src e.dst
+           (Trace.Chrome.json_string e.ekind)
+           e.ets))
+    t.Tree.edges;
+  Stdlib.Buffer.add_string b "],\"points\":[";
+  List.iteri
+    (fun i (p : Tree.point) ->
+      if i > 0 then Stdlib.Buffer.add_char b ',';
+      Stdlib.Buffer.add_string b
+        (Printf.sprintf "\n{\"span\":%d,\"name\":%s,\"ts\":%d,\"pid\":%d,\"args\":" p.span
+           (Trace.Chrome.json_string p.pname)
+           p.pts p.ppid);
+      add_args b p.pargs;
+      Stdlib.Buffer.add_char b '}')
+    t.Tree.points;
+  Stdlib.Buffer.add_string b (Printf.sprintf "],\"dropped\":%d}\n" t.Tree.dropped);
+  Stdlib.Buffer.contents b
+
+let write_json path t =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (json_string t))
+
+(* Chrome-trace overlay. Each span becomes a nestable-async "b"/"e" pair
+   (id = span id, so Perfetto stacks them into per-process provenance
+   tracks); each causal edge becomes a flow "s"->"f" arrow between the two
+   span phases. Open spans get no "e" — Perfetto renders them to the end of
+   the trace, which is exactly right for lost requests. *)
+
+let out_pid p = if p < 0 then Trace.Chrome.engine_pid else p
+
+let span_phase ~ph ~ts ~pid ~name ~id args =
+  let b = Stdlib.Buffer.create 128 in
+  Stdlib.Buffer.add_string b
+    (Printf.sprintf "{\"name\":%s,\"cat\":\"prov\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":0,\"id\":\"0x%x\""
+       (Trace.Chrome.json_string name)
+       ph (Trace.Chrome.fixed_ts ts) (out_pid pid) id);
+  if args <> [] then begin
+    Stdlib.Buffer.add_string b ",\"args\":";
+    add_args b args
+  end;
+  Stdlib.Buffer.add_char b '}';
+  Stdlib.Buffer.contents b
+
+let flow_phase ~ph ~ts ~pid ~kind ~id =
+  Printf.sprintf
+    "{\"name\":%s,\"cat\":\"prov_edge\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":0,\"id\":\"0x%x\"%s}"
+    (Trace.Chrome.json_string kind)
+    ph (Trace.Chrome.fixed_ts ts) (out_pid pid) id
+    (if ph = "f" then ",\"bp\":\"e\"" else "")
+
+let trace_events (t : Tree.t) =
+  let evs = ref [] in
+  Tree.fold t
+    (fun () (s : Tree.span) ->
+      evs :=
+        span_phase ~ph:"b" ~ts:s.Tree.start ~pid:s.Tree.pid ~name:s.Tree.name ~id:s.Tree.id
+          (("span", string_of_int s.Tree.id)
+          :: ("parent", string_of_int s.Tree.parent)
+          :: s.Tree.args)
+        :: !evs;
+      if not (Tree.is_open s) then
+        evs :=
+          span_phase ~ph:"e" ~ts:s.Tree.finish ~pid:s.Tree.pid ~name:s.Tree.name
+            ~id:s.Tree.id s.Tree.end_args
+          :: !evs)
+    ();
+  List.iteri
+    (fun i (e : Tree.edge) ->
+      match Tree.span t e.src, Tree.span t e.dst with
+      | Some src, Some dst ->
+        (* Flow ids must not collide with span ids used above; offset into
+           a disjoint range keyed by edge index. *)
+        let fid = 0x1000000 + i in
+        evs := flow_phase ~ph:"s" ~ts:e.ets ~pid:src.Tree.pid ~kind:e.ekind ~id:fid :: !evs;
+        evs := flow_phase ~ph:"f" ~ts:e.ets ~pid:dst.Tree.pid ~kind:e.ekind ~id:fid :: !evs
+      | _ -> ())
+    t.Tree.edges;
+  List.rev !evs

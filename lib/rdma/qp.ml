@@ -128,6 +128,20 @@ let trace_post t ~wr_id ~kind ~len =
       ~args:[ ("len", string_of_int len) ]
       (kind_name kind)
 
+(* Provenance child span per posted operation, parented on the posting
+   fiber's current span — so each follower's accept write is a separate
+   child of the leader's "accept" phase and quorum stragglers are
+   attributable. Closed (with the completion status) by
+   [deliver_completion], possibly from the scheduler context. *)
+let prov_post t ~kind ~len =
+  let e = engine t in
+  if not (Sim.Engine.provenance_on e) then 0
+  else
+    let peer = match t.peer with Some p -> Sim.Host.id p.host | None -> -1 in
+    Sim.Engine.span_open e ~pid:(Sim.Host.id t.host)
+      ~args:[ ("peer", string_of_int peer); ("len", string_of_int len) ]
+      (kind_name kind)
+
 (* Monotonic clocks preserve RC's in-order guarantees even though wire
    jitter is sampled independently per operation. *)
 let arrival_time t ideal =
@@ -140,7 +154,7 @@ let completion_time t ideal =
   t.last_completion <- at;
   at
 
-let deliver_completion t ~at ~wr_id ~kind ~status ?(byte_len = 0) ~before () =
+let deliver_completion t ~at ~wr_id ~kind ~status ?(byte_len = 0) ?(prov = 0) ~before () =
   let at = completion_time t at in
   Sim.Engine.schedule (engine t) ~at (fun () ->
       t.outstanding <- t.outstanding - 1;
@@ -151,6 +165,10 @@ let deliver_completion t ~at ~wr_id ~kind ~status ?(byte_len = 0) ~before () =
           ~id:(async_id t wr_id)
           ~args:[ ("status", Fmt.str "%a" Verbs.pp_wc_status status) ]
           (kind_name kind);
+      if prov <> 0 then
+        Sim.Engine.span_close e ~pid:(Sim.Host.id t.host)
+          ~args:[ ("status", Fmt.str "%a" Verbs.pp_wc_status status) ]
+          prov;
       before ();
       Cq.push t.cq { Verbs.wr_id; kind; status; byte_len })
 
@@ -253,6 +271,7 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
   t.outstanding <- t.outstanding + 1;
   tel_post t;
   trace_post t ~wr_id ~kind ~len:payload_out;
+  let prov = prov_post t ~kind ~len:payload_out in
   match t.state, t.peer with
   | Verbs.Rts, Some resp when Mr.host mr == resp.host ->
     let t0 = Sim.Engine.now e in
@@ -268,7 +287,7 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
           mark_err t;
           deliver_completion t
             ~at:(t0 + c.Sim.Calibration.rnic_timeout)
-            ~wr_id ~kind ~status:Verbs.Operation_timeout
+            ~wr_id ~kind ~status:Verbs.Operation_timeout ~prov
             ~before:(fun () -> ())
             ()
         end
@@ -276,7 +295,7 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
           (* NAK: both ends of the connection go to ERR (§5.2). *)
           mark_err resp;
           let back = Sim.Engine.now e + c.Sim.Calibration.nic_rx + wire_delay t ~len:0 in
-          deliver_completion t ~at:back ~wr_id ~kind ~status:Verbs.Remote_access_error
+          deliver_completion t ~at:back ~wr_id ~kind ~status:Verbs.Remote_access_error ~prov
             ~before:(fun () -> mark_err t)
             ()
         end
@@ -290,7 +309,7 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
             mark_err t;
             deliver_completion t
               ~at:(t0 + c.Sim.Calibration.rnic_timeout)
-              ~wr_id ~kind ~status:Verbs.Operation_timeout
+              ~wr_id ~kind ~status:Verbs.Operation_timeout ~prov
               ~before:(fun () -> ())
               ()
           | { lost = false; extra } ->
@@ -305,7 +324,7 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
               + c.Sim.Calibration.cq_poll + extra
             in
             deliver_completion t ~at:back ~wr_id ~kind ~status:Verbs.Success ~byte_len:len
-              ~before:on_complete ()
+              ~prov ~before:on_complete ()
         end)
   | Verbs.Rts, Some _ -> invalid_arg "Qp.post: MR does not belong to the peer host"
   | Verbs.Rts, None -> invalid_arg "Qp.post: not connected"
@@ -313,7 +332,7 @@ let post t ~wr_id ~kind ~payload_out ~payload_back ~mr ~off ~len ~need_write ~ap
     (* Work posted to a non-RTS QP is flushed. *)
     deliver_completion t
       ~at:(Sim.Engine.now e + c.Sim.Calibration.cq_poll)
-      ~wr_id ~kind ~status:Verbs.Flushed
+      ~wr_id ~kind ~status:Verbs.Flushed ~prov
       ~before:(fun () -> ())
       ()
 
@@ -387,6 +406,7 @@ let post_send t ~wr_id ~src ~src_off ~len =
   t.outstanding <- t.outstanding + 1;
   tel_post t;
   trace_post t ~wr_id ~kind:`Send ~len;
+  let prov = prov_post t ~kind:`Send ~len in
   match t.state, t.peer with
   | Verbs.Rts, Some resp ->
     let payload = Bytes.sub src src_off len in
@@ -401,7 +421,7 @@ let post_send t ~wr_id ~src ~src_off ~len =
           mark_err t;
           deliver_completion t
             ~at:(t0 + c.Sim.Calibration.rnic_timeout)
-            ~wr_id ~kind:`Send ~status:Verbs.Operation_timeout
+            ~wr_id ~kind:`Send ~status:Verbs.Operation_timeout ~prov
             ~before:(fun () -> ())
             ()
         end
@@ -413,7 +433,7 @@ let post_send t ~wr_id ~src ~src_off ~len =
           mark_err resp;
           let back = Sim.Engine.now e + c.Sim.Calibration.nic_rx + wire_delay t ~len:0 in
           deliver_completion t ~at:back ~wr_id ~kind:`Send
-            ~status:Verbs.Remote_access_error
+            ~status:Verbs.Remote_access_error ~prov
             ~before:(fun () -> mark_err t)
             ()
         end
@@ -422,7 +442,7 @@ let post_send t ~wr_id ~src ~src_off ~len =
             if got < 0 then
               deliver_completion t
                 ~at:(arrived_at + wire_delay t ~len:0)
-                ~wr_id ~kind:`Send ~status:Verbs.Remote_access_error
+                ~wr_id ~kind:`Send ~status:Verbs.Remote_access_error ~prov
                 ~before:(fun () -> mark_err t)
                 ()
             else
@@ -432,13 +452,13 @@ let post_send t ~wr_id ~src ~src_off ~len =
                 mark_err t;
                 deliver_completion t
                   ~at:(t0 + c.Sim.Calibration.rnic_timeout)
-                  ~wr_id ~kind:`Send ~status:Verbs.Operation_timeout
+                  ~wr_id ~kind:`Send ~status:Verbs.Operation_timeout ~prov
                   ~before:(fun () -> ())
                   ()
               | { lost = false; extra } ->
                 deliver_completion t
                   ~at:(arrived_at + wire_delay t ~len:0 + c.Sim.Calibration.cq_poll + extra)
-                  ~wr_id ~kind:`Send ~status:Verbs.Success ~byte_len:got
+                  ~wr_id ~kind:`Send ~status:Verbs.Success ~byte_len:got ~prov
                   ~before:(fun () -> ())
                   ()
           in
@@ -453,7 +473,7 @@ let post_send t ~wr_id ~src ~src_off ~len =
   | (Verbs.Reset | Verbs.Init | Verbs.Rtr | Verbs.Err), _ ->
     deliver_completion t
       ~at:(Sim.Engine.now e + c.Sim.Calibration.cq_poll)
-      ~wr_id ~kind:`Send ~status:Verbs.Flushed
+      ~wr_id ~kind:`Send ~status:Verbs.Flushed ~prov
       ~before:(fun () -> ())
       ()
 

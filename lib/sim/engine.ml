@@ -10,6 +10,13 @@ type t = {
   mutable next_fiber : int;
   mutable cur_fiber : int;
   mutable cur_pid : int;
+  (* Provenance: per-request causal spans. Off by default; every span_*
+     call below is a single bool check until [set_provenance] opts in AND
+     a probe sink is installed, so fault-free runs with provenance off
+     emit byte-identical traces and consume the same PRNG stream. *)
+  mutable prov : bool;
+  mutable next_span : int;
+  span_stacks : (int, int list ref) Hashtbl.t; (* fiber id -> open span stack *)
   (* Telemetry: absent by default, so instrumented sites cost one option
      check. Handles are resolved once in [set_metrics]. *)
   mutable reg : Telemetry.Registry.t option;
@@ -39,6 +46,9 @@ let create ?(seed = 1L) () =
     next_fiber = 0;
     cur_fiber = 0;
     cur_pid = -1;
+    prov = false;
+    next_span = 0;
+    span_stacks = Hashtbl.create 64;
     reg = None;
     tel_events = None;
     tel_depth = None;
@@ -112,6 +122,85 @@ let trace_span t ?cat ?pid ?args name f =
     trace_begin t ?cat ?pid ?args name;
     Fun.protect ~finally:(fun () -> trace_end t ?cat ?pid name) f
   end
+
+(* Provenance -------------------------------------------------------------
+
+   Spans are recorded as [Instant] events in cat "prov" ("span_begin" /
+   "span_end" / "point" / "edge") so the existing Breakdown accumulator —
+   which ignores instants — is unaffected, and the span tree is rebuilt
+   offline by the [provenance] library from the trace ring. Span ids are
+   allocated only while provenance is on; allocation order follows the
+   (deterministic) event order, so equal seeds yield equal ids. *)
+
+let set_provenance t on = t.prov <- on
+let provenance_on t = t.prov && Probe.enabled t.probe
+
+let span_stack t =
+  match Hashtbl.find_opt t.span_stacks t.cur_fiber with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.replace t.span_stacks t.cur_fiber s;
+    s
+
+let current_span t =
+  match Hashtbl.find_opt t.span_stacks t.cur_fiber with
+  | Some { contents = s :: _ } -> s
+  | _ -> 0
+
+let span_open t ?pid ?parent ?(args = []) name =
+  if not (provenance_on t) then 0
+  else begin
+    t.next_span <- t.next_span + 1;
+    let id = t.next_span in
+    let parent = match parent with Some p -> p | None -> current_span t in
+    emit t ~kind:Probe.Instant ~cat:"prov" ?pid
+      ~args:
+        (("span", string_of_int id)
+        :: ("parent", string_of_int parent)
+        :: ("name", name) :: args)
+      "span_begin";
+    id
+  end
+
+let span_close t ?pid ?(args = []) id =
+  if provenance_on t && id <> 0 then
+    emit t ~kind:Probe.Instant ~cat:"prov" ?pid
+      ~args:(("span", string_of_int id) :: args)
+      "span_end"
+
+let span_point t ?pid ?(args = []) ~span name =
+  if provenance_on t && span <> 0 then
+    emit t ~kind:Probe.Instant ~cat:"prov" ?pid
+      ~args:(("span", string_of_int span) :: ("name", name) :: args)
+      "point"
+
+let span_edge t ?pid ~kind ~src ~dst () =
+  if provenance_on t && src <> 0 && dst <> 0 then
+    emit t ~kind:Probe.Instant ~cat:"prov" ?pid
+      ~args:
+        [ ("src", string_of_int src); ("dst", string_of_int dst); ("kind", kind) ]
+      "edge"
+
+let with_span t ?pid ?args name f =
+  if not (provenance_on t) then f 0
+  else begin
+    (* Stack-scoped spans are tagged sync=1: they nest strictly within the
+       opening fiber, so the analyzer can partition a parent's duration
+       over them. Detached [span_open] spans (RDMA posts, requests) may
+       overlap siblings and are excluded from that partition. *)
+    let args = ("sync", "1") :: Option.value args ~default:[] in
+    let id = span_open t ?pid ~args name in
+    let stack = span_stack t in
+    stack := id :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with s :: rest when s = id -> stack := rest | _ -> ());
+        span_close t ?pid id)
+      (fun () -> f id)
+  end
+
+let span_scope t ?pid ?args name f = with_span t ?pid ?args name (fun _ -> f ())
 
 let schedule t ~at thunk =
   let at = if at < t.now then t.now else at in

@@ -111,6 +111,54 @@ val trace_span :
     event is emitted even when [f] raises. When no sink is installed this
     is exactly [f ()]. *)
 
+(** {1 Provenance}
+
+    Per-request causal spans, layered on the probe: spans and their causal
+    edges are emitted as [Instant] events in cat ["prov"], reconstructed
+    offline by the [provenance] library. Off by default; until
+    {!set_provenance} opts in {e and} a sink is installed, every call below
+    is a single bool check, no span ids are allocated, and traces are
+    byte-identical to a build without instrumentation. Nothing here touches
+    any PRNG. *)
+
+val set_provenance : t -> bool -> unit
+(** Enable/disable provenance span emission. *)
+
+val provenance_on : t -> bool
+(** [true] iff provenance is enabled and a probe sink is installed. Guard
+    argument construction on hot paths with this. *)
+
+val current_span : t -> int
+(** Innermost open {!with_span} span of the executing fiber (0 = none).
+    Fiber-local: tracked per fiber across suspensions. *)
+
+val span_open : t -> ?pid:int -> ?parent:int -> ?args:(string * string) list -> string -> int
+(** Open a {e detached} span and return its id (0 when provenance is off).
+    [parent] defaults to {!current_span}. Detached spans may be closed from
+    a different fiber (e.g. an RDMA post closed by its completion) and may
+    overlap their siblings; the caller owns the id and must {!span_close}
+    it. *)
+
+val span_close : t -> ?pid:int -> ?args:(string * string) list -> int -> unit
+(** Close a span by id; extra [args] (e.g. a completion status) attach to
+    the end event. No-op for id 0. *)
+
+val span_point : t -> ?pid:int -> ?args:(string * string) list -> span:int -> string -> unit
+(** Attach an instantaneous named point to a span (e.g. a client retry). *)
+
+val span_edge : t -> ?pid:int -> kind:string -> src:int -> dst:int -> unit -> unit
+(** Record a causal edge between two spans (e.g. ["batched_into"],
+    ["blocked_by"]). No-op when either end is 0. *)
+
+val with_span : t -> ?pid:int -> ?args:(string * string) list -> string -> (int -> 'a) -> 'a
+(** [with_span t name f] runs [f id] inside a stack-scoped span: the span
+    becomes {!current_span} for the dynamic extent of [f] (parenting both
+    nested [with_span]s and detached {!span_open}s), and is closed when [f]
+    returns or raises. [f] receives 0 when provenance is off. *)
+
+val span_scope : t -> ?pid:int -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** {!with_span} when the body does not need the span id. *)
+
 (** {1 Fiber operations} — valid only inside a fiber body. *)
 
 val suspend : (('a -> unit) -> unit) -> 'a

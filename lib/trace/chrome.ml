@@ -87,7 +87,18 @@ let add_meta b ~name ~pid ?tid value =
   add_str b value;
   Stdlib.Buffer.add_string b "}}"
 
-let to_buffer b ~processes ~threads events =
+(* Helpers for building raw trace events outside this module (the
+   provenance exporter renders flow and nestable-async phases that have no
+   [Probe.kind]); using these keeps escaping and timestamp formatting — and
+   hence byte-determinism — in one place. *)
+let json_string s =
+  let b = Stdlib.Buffer.create (String.length s + 2) in
+  add_str b s;
+  Stdlib.Buffer.contents b
+
+let fixed_ts ns = Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000)
+
+let to_buffer b ?(extra = []) ~processes ~threads events =
   Stdlib.Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   let first = ref true in
   let sep () =
@@ -108,15 +119,20 @@ let to_buffer b ~processes ~threads events =
       sep ();
       add_event b ev)
     events;
+  List.iter
+    (fun json ->
+      sep ();
+      Stdlib.Buffer.add_string b json)
+    extra;
   Stdlib.Buffer.add_string b "\n]}\n"
 
-let to_string ~processes ~threads events =
+let to_string ?extra ~processes ~threads events =
   let b = Stdlib.Buffer.create 65536 in
-  to_buffer b ~processes ~threads events;
+  to_buffer b ?extra ~processes ~threads events;
   Stdlib.Buffer.contents b
 
-let write_file path ~processes ~threads events =
+let write_file path ?extra ~processes ~threads events =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ~processes ~threads events))
+    (fun () -> output_string oc (to_string ?extra ~processes ~threads events))

@@ -33,10 +33,11 @@ let pp_outcome ppf o =
    each op recorded with its invocation/response times. Request ids make
    retries idempotent (the KV app deduplicates), so the at-least-once
    delivery of SMR under leader change stays linearizable. *)
-let client_fiber e smr ~proc ~ops ~keys ~history ~pending ~on_done =
+let client_fiber e smr ~proc ~ops ~think ~keys ~history ~pending ~on_done =
   let rng = Sim.Rng.split (Sim.Engine.rng e) in
   Mu.Smr.wait_live smr;
   for i = 1 to ops do
+    if think > 0 && i > 1 then Sim.Engine.sleep e think;
     let key = keys.(Sim.Rng.int rng (Array.length keys)) in
     let cmd =
       if Sim.Rng.bool rng then
@@ -46,7 +47,25 @@ let client_fiber e smr ~proc ~ops ~keys ~history ~pending ~on_done =
     let payload = Apps.Kv_store.encode_command ~client:proc ~req_id:i cmd in
     let invoked = Sim.Engine.now e in
     Hashtbl.replace pending proc (invoked, key, cmd);
-    let reply = Mu.Smr.submit smr payload in
+    (* The client_op span labels the detached "request" span that
+       [Smr.submit] opens underneath it with (proc, req, key, op), so
+       [mu_demo explain] can name the requests caught in a fail-over. *)
+    let reply =
+      Sim.Engine.span_scope e
+        ~args:
+          [
+            ("proc", string_of_int proc);
+            ("req", string_of_int i);
+            ("key", key);
+            ( "op",
+              match cmd with
+              | Apps.Kv_store.Put _ -> "put"
+              | Apps.Kv_store.Get _ -> "get"
+              | Apps.Kv_store.Delete _ -> "delete" );
+          ]
+        "client_op"
+        (fun () -> Mu.Smr.submit smr payload)
+    in
     let responded = Sim.Engine.now e in
     Hashtbl.remove pending proc;
     let kind =
@@ -62,10 +81,11 @@ let client_fiber e smr ~proc ~ops ~keys ~history ~pending ~on_done =
   done;
   on_done ()
 
-let run ?trace ?(clients = 4) ?(ops_per_client = 25) ?(horizon = 2_000_000_000)
-    ~seed ~n scenario =
+let run ?trace ?(provenance = false) ?(clients = 4) ?(ops_per_client = 25)
+    ?(think = 0) ?(horizon = 2_000_000_000) ~seed ~n scenario =
   let e = Sim.Engine.create ~seed () in
   (match trace with Some tr -> Trace.Tracer.attach tr e | None -> ());
+  if provenance then Sim.Engine.set_provenance e true;
   let cfg =
     { Mu.Config.default with Mu.Config.n; log_slots = 4096; recycle_interval = 1_000_000 }
   in
@@ -90,7 +110,7 @@ let run ?trace ?(clients = 4) ?(ops_per_client = 25) ?(horizon = 2_000_000_000)
     Sim.Engine.spawn e
       ~name:(Printf.sprintf "chaos-client-%d" proc)
       (fun () ->
-        client_fiber e smr ~proc ~ops:ops_per_client ~keys ~history ~pending
+        client_fiber e smr ~proc ~ops:ops_per_client ~think ~keys ~history ~pending
           ~on_done:(fun () ->
             decr remaining;
             if !remaining = 0 then begin

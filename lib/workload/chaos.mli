@@ -34,8 +34,10 @@ val pp_outcome : outcome Fmt.t
 
 val run :
   ?trace:Trace.Tracer.t ->
+  ?provenance:bool ->
   ?clients:int ->
   ?ops_per_client:int ->
+  ?think:int ->
   ?horizon:int ->
   seed:int64 ->
   n:int ->
@@ -44,7 +46,14 @@ val run :
 (** One chaos run. [horizon] (default 2 virtual seconds) bounds a stalled
     run; writes still pending at the horizon stay in the history with an
     open response interval, so a write that took effect but never
-    answered cannot fake a linearizability violation. *)
+    answered cannot fake a linearizability violation. [provenance]
+    (default false) additionally records causal request spans for
+    [mu_demo explain] — each client op wraps its request span with
+    (proc, req, key, op) labels; a provenance-off run is byte-identical
+    with or without the flag. [think] (default 0) inserts a fixed
+    virtual-ns pause between a client's operations — use it to stretch a
+    small (checker-friendly) history across a scenario's fault window
+    instead of piling on operations. *)
 
 (** {1 Minimized repro} *)
 

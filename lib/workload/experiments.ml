@@ -4,11 +4,12 @@ type setup = {
   trace : Trace.Tracer.t option;
   metrics : Telemetry.Sampler.t option;
   faults : Faults.Scenario.t option;
+  provenance : bool;
 }
 
 let default_setup =
   { seed = 42L; cal = Sim.Calibration.default; trace = None; metrics = None;
-    faults = None }
+    faults = None; provenance = false }
 
 (* Inject the setup's fault scenario (if any) over a running Mu cluster;
    scenario host ids are replica ids. Experiments that build their own
@@ -33,6 +34,7 @@ let install_faults setup e smr =
 let run_sim setup ?until f =
   let e = Sim.Engine.create ~seed:setup.seed () in
   (match setup.trace with Some tr -> Trace.Tracer.attach tr e | None -> ());
+  if setup.provenance then Sim.Engine.set_provenance e true;
   (match setup.metrics with
   | Some sampler ->
     Sim.Engine.set_metrics e (Telemetry.Sampler.registry sampler);
@@ -161,10 +163,20 @@ let mu_latency_with_config setup ~samples ~payload ~attach cfg =
             let body = Generators.payload rng ~size:payload in
             let value = Mu.Smr.encode_batch [ body ] in
             let t0 = Sim.Engine.now e in
-            Sim.Host.cpu leader.Mu.Replica.host (attach_cost setup.cal attach);
-            Sim.Host.cpu leader.Mu.Replica.host (stage_cost setup.cal payload);
-            (try ignore (Mu.Replication.propose leader value)
-             with Mu.Replication.Aborted _ -> Sim.Host.idle leader.Mu.Replica.host 100_000);
+            (* The request span brackets exactly the measured interval, so
+               its sync children (attach/stage/propose phases) partition the
+               recorded latency. *)
+            Sim.Engine.span_scope e ~pid:leader.Mu.Replica.id
+              ~args:[ ("len", string_of_int payload) ]
+              "request"
+              (fun () ->
+                Sim.Engine.span_scope e ~pid:leader.Mu.Replica.id "attach" (fun () ->
+                    Sim.Host.cpu leader.Mu.Replica.host (attach_cost setup.cal attach));
+                Sim.Engine.span_scope e ~pid:leader.Mu.Replica.id "stage" (fun () ->
+                    Sim.Host.cpu leader.Mu.Replica.host (stage_cost setup.cal payload));
+                try ignore (Mu.Replication.propose leader value)
+                with Mu.Replication.Aborted _ ->
+                  Sim.Host.idle leader.Mu.Replica.host 100_000);
             if record then Sim.Stats.Samples.add out (Sim.Engine.now e - t0)
           in
           for _ = 1 to 100 do

@@ -22,6 +22,12 @@ type setup = {
           cluster experiment (replication latency, fail-over); scenario
           host ids are replica ids. Experiments with private topologies
           (baselines, microbenchmarks) ignore it. *)
+  provenance : bool;
+      (** When true (and a tracer is attached), every engine records causal
+          request spans ({!Sim.Engine.set_provenance}): the latency drivers
+          wrap each measured propose in a ["request"] span whose sync
+          children partition the end-to-end latency. Off by default — a
+          provenance-off run is byte-identical to the seed. *)
 }
 
 val default_setup : setup

@@ -23,5 +23,6 @@ let () =
       ("misc", Test_misc.suite);
       ("trace", Test_trace.suite);
       ("telemetry", Test_telemetry.suite);
+      ("provenance", Test_provenance.suite);
       ("properties", Test_properties.suite);
     ]

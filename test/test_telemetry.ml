@@ -214,7 +214,7 @@ module E = Workload.Experiments
 
 let metrics_setup seed interval =
   let s = T.Sampler.create (T.Registry.create ()) ~interval in
-  ({ E.seed; cal = Util.default_cal; trace = None; metrics = Some s; faults = None }, s)
+  ({ E.seed; cal = Util.default_cal; trace = None; metrics = Some s; faults = None; provenance = false }, s)
 
 let e2e_replication_instrumented () =
   let setup, smp = metrics_setup 42L 50_000 in
