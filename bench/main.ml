@@ -442,6 +442,43 @@ let ablations () =
     \   positives; a push detector needs a timeout above the worst network@.\
     \   delay spike to avoid false positives, costing ~10x the detection time.)@."
 
+(* --- Crash recovery ------------------------------------------------------ *)
+
+let recovery_outcome : Workload.Chaos.outcome option ref = ref None
+
+let recovery () =
+  section "recovery" "crash-recovery: kill -> restart -> rejoin under traffic (DESIGN.md §14)";
+  Fmt.pr
+    "  Beyond the paper's crash-stop model (§2.2): the leader's host is killed@.\
+    \  at 5 ms and rebooted at 25 ms under client traffic. The rebooted replica@.\
+    \  restores its durable log, catches up from the new leader at bounded rate@.\
+    \  and rejoins the quorum at exact log parity.@.";
+  let scenario = Option.get (Faults.Scenario.by_name ~n:3 "kill-restart") in
+  let o =
+    Workload.Chaos.run ~ops_per_client:(scale 600 / 10) ~think:100_000 ~seed:!seed ~n:3
+      scenario
+  in
+  recovery_outcome := Some o;
+  Fmt.pr "  %a@." Workload.Chaos.pp_outcome o;
+  List.iter
+    (fun (r : Mu.Smr.rejoin) ->
+      Fmt.pr
+        "  host %d: time to parity %8.1f us   entries pulled %4d   rounds %3d   \
+         recheckpoints %d@."
+        r.Mu.Smr.pid
+        (us (r.Mu.Smr.parity_at - r.Mu.Smr.restarted_at))
+        r.Mu.Smr.entries_pulled r.Mu.Smr.pull_rounds r.Mu.Smr.recheckpoints)
+    o.Workload.Chaos.rejoins;
+  if o.Workload.Chaos.degraded_ns > 0 then
+    Fmt.pr "  degraded (quorum-lost) time: %.1f us@." (us o.Workload.Chaos.degraded_ns);
+  if o.Workload.Chaos.shed > 0 then
+    Fmt.pr "  requests shed by the queue bound: %d@." o.Workload.Chaos.shed;
+  record_check "recovery_kill_restart"
+    (Workload.Chaos.passed o && o.Workload.Chaos.rejoins <> [])
+    (Fmt.str "%a" Workload.Chaos.pp_outcome o);
+  Fmt.pr "  check: rejoin reached parity, run linearizable + invariant-clean: %s@."
+    (if Workload.Chaos.passed o && o.Workload.Chaos.rejoins <> [] then "OK" else "FAIL")
+
 (* --- Bechamel microbenchmarks ------------------------------------------- *)
 
 let bechamel_suite () =
@@ -520,6 +557,7 @@ let () =
     want "ablations"
     || List.exists (fun id -> String.length id >= 8 && String.sub id 0 8 = "ablation") !only
   then ablations ();
+  if want "recovery" then recovery ();
   if want "bechamel" then bechamel_suite ();
   csv_flush "fig3.csv" ~header:"configuration,median_us,p1_us,p99_us";
   csv_flush "fig4.csv" ~header:"system,median_us,p1_us,p99_us";
@@ -587,6 +625,27 @@ let () =
      Buffer.add_string b
        (Printf.sprintf "{\"total\":%s,\"detection\":%s,\"switch\":%s}"
           (samples_json r.E.total) (samples_json r.E.detection) (samples_json r.E.switch))
+   | None -> Buffer.add_string b "null");
+   Buffer.add_string b ",\"recovery\":";
+   (match !recovery_outcome with
+   | Some o ->
+     let rejoins =
+       String.concat ","
+         (List.map
+            (fun (r : Mu.Smr.rejoin) ->
+              Printf.sprintf
+                "{\"pid\":%d,\"rejoin_time_to_parity_ns\":%d,\"catch_up_entries\":%d,\
+                 \"pull_rounds\":%d,\"recheckpoints\":%d}"
+                r.Mu.Smr.pid
+                (r.Mu.Smr.parity_at - r.Mu.Smr.restarted_at)
+                r.Mu.Smr.entries_pulled r.Mu.Smr.pull_rounds r.Mu.Smr.recheckpoints)
+            o.Workload.Chaos.rejoins)
+     in
+     Buffer.add_string b
+       (Printf.sprintf
+          "{\"passed\":%b,\"rejoins\":[%s],\"shed\":%d,\"degraded_ns\":%d}"
+          (Workload.Chaos.passed o) rejoins o.Workload.Chaos.shed
+          o.Workload.Chaos.degraded_ns)
    | None -> Buffer.add_string b "null");
    Buffer.add_string b ",\"checks\":[";
    List.iteri

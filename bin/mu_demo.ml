@@ -60,7 +60,8 @@ let faults_arg =
     & info [ "faults" ] ~docv:"SCENARIO"
         ~doc:
           "Inject a fault scenario into the experiment's Mu cluster: a named scenario \
-           (crash-leader, partition-leader, lossy-fabric) or a scenario JSON file.")
+           (crash-leader, partition-leader, lossy-fabric, kill-restart) or a scenario \
+           JSON file.")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for the simulation.")
@@ -345,7 +346,10 @@ let chaos_cmd =
         Fmt.pr "minimized repro: %s@." (Workload.Chaos.repro_json worst));
       1
   in
-  let run () seed n scenario_spec sweep replay repro_file =
+  let run () seed n scenario_spec sweep replay repro_file trace_file =
+    (* --trace applies to the single-scenario and --replay modes (one
+       engine per run); a sweep spans many engines and ignores it. *)
+    let tracer = Option.map (fun _ -> Trace.Tracer.create ()) trace_file in
     let code =
       match replay, sweep with
       | Some file, _ ->
@@ -356,7 +360,7 @@ let chaos_cmd =
           Fmt.epr "%s@." msg;
           2
         | Ok (seed, n, scenario) ->
-          let o = Workload.Chaos.run ~seed ~n scenario in
+          let o = Workload.Chaos.run ?trace:tracer ~seed ~n scenario in
           Fmt.pr "%a@." Workload.Chaos.pp_outcome o;
           finish ~repro_file (if Workload.Chaos.passed o then [] else [ o ]))
       | None, Some count ->
@@ -371,10 +375,15 @@ let chaos_cmd =
         finish ~repro_file result.Workload.Chaos.failures
       | None, None ->
         let scenario = scenario_or_die ~n scenario_spec in
-        let o = Workload.Chaos.run ~seed:(Int64.of_int seed) ~n scenario in
+        let o = Workload.Chaos.run ?trace:tracer ~seed:(Int64.of_int seed) ~n scenario in
         Fmt.pr "%a@." Workload.Chaos.pp_outcome o;
         finish ~repro_file (if Workload.Chaos.passed o then [] else [ o ])
     in
+    (match tracer, trace_file with
+    | Some tr, Some file ->
+      Trace.Tracer.write_chrome tr file;
+      Fmt.pr "Chrome trace written to %s (open in ui.perfetto.dev)@." file
+    | _ -> ());
     exit code
   in
   let n_arg =
@@ -386,8 +395,17 @@ let chaos_cmd =
       & opt string "crash-leader"
       & info [ "scenario" ] ~docv:"SCENARIO"
           ~doc:
-            "Named scenario (crash-leader, partition-leader, lossy-fabric) or a \
-             scenario JSON file.")
+            "Named scenario (crash-leader, partition-leader, lossy-fabric, \
+             kill-restart) or a scenario JSON file.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome-format trace of the run to $(docv) (single-scenario and \
+             --replay modes; ignored by --sweep).")
   in
   let sweep_arg =
     Arg.(
@@ -421,7 +439,7 @@ let chaos_cmd =
           invariants. Exits non-zero on any violation.")
     Term.(
       const run $ setup_logs $ seed_arg $ n_arg $ scenario_arg $ sweep_arg $ replay_arg
-      $ repro_arg)
+      $ repro_arg $ trace_arg)
 
 (* --- explain ------------------------------------------------------------------ *)
 
@@ -645,9 +663,9 @@ let explain_cmd =
       & info [ "chaos" ] ~docv:"SCENARIO"
           ~doc:
             "Explain a chaos run instead of a latency run: a named scenario \
-             (crash-leader, partition-leader, lossy-fabric), a scenario JSON file, or a \
-             minimized repro written by 'mu_demo chaos --repro' (which pins seed and \
-             cluster size).")
+             (crash-leader, partition-leader, lossy-fabric, kill-restart), a scenario \
+             JSON file, or a minimized repro written by 'mu_demo chaos --repro' (which \
+             pins seed and cluster size).")
   in
   let n_arg =
     Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Replicas (chaos mode).")

@@ -5,7 +5,7 @@
 
 let with_host hosts pid f = match hosts pid with Some h -> f h | None -> ()
 
-let apply e ~hosts action =
+let apply e ~hosts ?(restart = fun _ -> ()) action =
   let fabric = Sim.Engine.fabric e in
   match action with
   | Scenario.Pause pid -> with_host hosts pid Sim.Host.pause
@@ -19,6 +19,7 @@ let apply e ~hosts action =
   | Scenario.Loss { src; dst; p } -> Sim.Fabric.set_loss fabric ~src ~dst p
   | Scenario.Dup { src; dst; p } -> Sim.Fabric.set_dup fabric ~src ~dst p
   | Scenario.Heal -> Sim.Fabric.heal fabric
+  | Scenario.Restart pid -> restart pid
   | Scenario.Perm_fail { pid; forced } ->
     Sim.Fabric.force_perm_failure fabric ~pid forced
 
@@ -49,11 +50,12 @@ let action_event = function
     ( "fault_dup",
       [ ("src", string_of_int src); ("dst", string_of_int dst); ("p", Fmt.str "%g" p) ] )
   | Scenario.Heal -> ("fault_heal", [])
+  | Scenario.Restart pid -> ("fault_restart", [ ("pid", string_of_int pid) ])
   | Scenario.Perm_fail { pid; forced } ->
     ( "fault_perm_fail",
       [ ("pid", string_of_int pid); ("forced", if forced then "1" else "0") ] )
 
-let install e ~hosts (s : Scenario.t) =
+let install e ~hosts ?restart (s : Scenario.t) =
   List.iter
     (fun { Scenario.at; action } ->
       Sim.Engine.schedule e ~at (fun () ->
@@ -70,5 +72,5 @@ let install e ~hosts (s : Scenario.t) =
                   ])
               name
           end;
-          apply e ~hosts action))
+          apply e ~hosts ?restart action))
     s.Scenario.events

@@ -7,8 +7,15 @@
     faults are visible in Perfetto next to the protocol's own spans. *)
 
 val install :
-  Sim.Engine.t -> hosts:(int -> Sim.Host.t option) -> Scenario.t -> unit
+  Sim.Engine.t ->
+  hosts:(int -> Sim.Host.t option) ->
+  ?restart:(int -> unit) ->
+  Scenario.t ->
+  unit
 (** [install e ~hosts s] schedules every event of [s]. [hosts] maps a
     scenario host id to its simulated host; host-targeted events whose id
     resolves to [None] are silently skipped (link faults need no
-    lookup). *)
+    lookup). [restart] handles {!Scenario.Restart} events — rebooting the
+    named host is a protocol-level operation (fresh process, durable
+    restore, rejoin) the harness owns, so the injector only dispatches the
+    id; if absent, restarts are skipped. *)

@@ -11,6 +11,7 @@ type action =
   | Dup of { src : int; dst : int; p : float }
   | Heal
   | Perm_fail of { pid : int; forced : bool }
+  | Restart of int
 
 type event = { at : int; action : action }
 type t = { name : string; events : event list }
@@ -33,6 +34,7 @@ let pp_action ppf = function
   | Dup { src; dst; p } -> Fmt.pf ppf "dup(%d->%d,%g)" src dst p
   | Heal -> Fmt.string ppf "heal"
   | Perm_fail { pid; forced } -> Fmt.pf ppf "perm_fail(%d,%b)" pid forced
+  | Restart pid -> Fmt.pf ppf "restart(%d)" pid
 
 let pp ppf t =
   Fmt.pf ppf "%s:@ %a" t.name
@@ -43,6 +45,12 @@ let pp ppf t =
 
 let validate ~n t =
   let err fmt = Fmt.kstr (fun m -> Error m) fmt in
+  (* Restart is only meaningful for a host that is down: validation walks
+     the schedule in time order and tracks which hosts are stopped or
+     killed, so a restart of a host that was never taken down — or was
+     already restarted — is rejected up front with a clear error instead
+     of being silently ignored at injection time. *)
+  let down : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let check_pid what pid =
     if pid < 0 || pid >= n then err "%s: host %d outside cluster of %d" what pid n
     else Ok ()
@@ -61,8 +69,18 @@ let validate ~n t =
       match action with
       | Pause pid -> check_pid "pause" pid
       | Resume pid -> check_pid "resume" pid
-      | Stop_process pid -> check_pid "stop_process" pid
-      | Kill_host pid -> check_pid "kill_host" pid
+      | Stop_process pid ->
+        Result.map (fun () -> Hashtbl.replace down pid ()) (check_pid "stop_process" pid)
+      | Kill_host pid ->
+        Result.map (fun () -> Hashtbl.replace down pid ()) (check_pid "kill_host" pid)
+      | Restart pid ->
+        Result.bind (check_pid "restart" pid) (fun () ->
+            if Hashtbl.mem down pid then Ok (Hashtbl.remove down pid)
+            else
+              err
+                "restart: host %d was never stopped or killed before %dns (restart only \
+                 follows stop_process or kill_host)"
+                pid at)
       | Partition (a, b) ->
         if a = [] || b = [] then err "partition: empty side"
         else if List.exists (fun x -> List.mem x b) a then
@@ -83,7 +101,11 @@ let validate ~n t =
       | Heal -> Ok ()
       | Perm_fail { pid; forced = _ } -> check_pid "perm_fail" pid
   in
-  List.fold_left (fun acc e -> Result.bind acc (fun () -> check_event e)) (Ok ()) t.events
+  (* Events are checked in firing order (stable sort on [at], listed
+     order breaking ties — exactly how the injector schedules them), so
+     the stop/kill/restart state machine sees the run as it will play. *)
+  let events = List.stable_sort (fun a b -> compare a.at b.at) t.events in
+  List.fold_left (fun acc e -> Result.bind acc (fun () -> check_event e)) (Ok ()) events
 
 (* --- JSON codec --------------------------------------------------------- *)
 
@@ -114,6 +136,7 @@ let json_of_action = function
     [ ("action", Json.Str "dup"); int_field "src" src; int_field "dst" dst;
       ("p", Json.Num p) ]
   | Heal -> [ ("action", Json.Str "heal") ]
+  | Restart pid -> [ ("action", Json.Str "restart"); int_field "pid" pid ]
   | Perm_fail { pid; forced } ->
     [ ("action", Json.Str "perm_fail"); int_field "pid" pid;
       ("forced", Json.Bool forced) ]
@@ -196,6 +219,9 @@ let action_of_json j =
       let* p = field_float j "p" in
       Ok (Dup { src; dst; p })
     | "heal" -> Ok Heal
+    | "restart" ->
+      let* pid = field_int j "pid" in
+      Ok (Restart pid)
     | "perm_fail" ->
       let* pid = field_int j "pid" in
       let forced =
@@ -266,13 +292,28 @@ let lossy_fabric ~n =
   in
   { name = "lossy-fabric"; events = faults @ [ { at = 40_000_000; action = Heal } ] }
 
-let named = [ "crash-leader"; "partition-leader"; "lossy-fabric" ]
+let kill_restart ~n:_ =
+  (* Crash the initial leader outright (volatile state lost, NIC dead),
+     then reboot the machine 20ms later: the cluster fails over, the
+     rebooted replica restores its durable log, is re-admitted via a
+     §5.4 configuration entry and catches up to parity under traffic. *)
+  {
+    name = "kill-restart";
+    events =
+      [
+        { at = 5_000_000; action = Kill_host 0 };
+        { at = 25_000_000; action = Restart 0 };
+      ];
+  }
+
+let named = [ "crash-leader"; "partition-leader"; "lossy-fabric"; "kill-restart" ]
 
 let by_name name ~n =
   match name with
   | "crash-leader" -> Some (crash_leader ~n)
   | "partition-leader" -> Some (partition_leader ~n)
   | "lossy-fabric" -> Some (lossy_fabric ~n)
+  | "kill-restart" -> Some (kill_restart ~n)
   | _ -> None
 
 (* --- random generation --------------------------------------------------- *)
@@ -314,11 +355,19 @@ let generate rng ~n ~horizon =
           emit stop (Unblock { src = o; dst = victim }))
         rest
     | 2 when host_budget_left ->
-      (* Crash-stop (§2.2): the host never comes back; the budget shrinks
-         for the rest of the scenario. *)
+      (* Crash-stop (§2.2) or crash-recovery: the host goes down and, on
+         a coin flip, reboots at the window's end. A restarted host
+         restores its durable state and rejoins, so it gives its
+         below-majority budget slot back — only permanent crashes keep
+         consuming it for the rest of the run. Windows are time-disjoint,
+         so the freed slot cannot be spent while the host is still down. *)
       incr crashed;
       if Sim.Rng.bool rng then emit start (Stop_process victim)
-      else emit start (Kill_host victim)
+      else emit start (Kill_host victim);
+      if Sim.Rng.bool rng then begin
+        emit stop (Restart victim);
+        decr crashed
+      end
     | 3 ->
       emit start (Perm_fail { pid = victim; forced = true });
       emit stop (Perm_fail { pid = victim; forced = false })

@@ -12,8 +12,14 @@
 type action =
   | Pause of int  (** {!Sim.Host.pause}: delayed, NIC keeps serving. *)
   | Resume of int
-  | Stop_process of int  (** Process crash; memory stays remotely readable. *)
-  | Kill_host of int  (** Machine crash; NIC unreachable (timeouts). *)
+  | Stop_process of int
+      (** Clean process halt: the replica process exits but the machine —
+          and its NIC — stay up, so registered memory remains remotely
+          readable and durable state is intact on disk. *)
+  | Kill_host of int
+      (** Machine crash: the whole host dies, volatile state is lost and
+          the NIC becomes unreachable (outstanding verbs time out). Only
+          durable (simulated-NVM) state survives. *)
   | Partition of int list * int list
       (** Symmetric partition: block both directions between the sides. *)
   | Block of { src : int; dst : int }  (** Directed (asymmetric) cut. *)
@@ -24,6 +30,12 @@ type action =
   | Heal  (** Clear every link fault (not forced permission failures). *)
   | Perm_fail of { pid : int; forced : bool }
       (** Force the permission fast path to fail on [pid] (§7.3). *)
+  | Restart of int
+      (** Reboot a host previously taken down by {!Stop_process} or
+          {!Kill_host}: a fresh process comes up on the same id, restores
+          its durable state and rejoins the cluster via §5.4 membership,
+          catching up from the leader's log. Only valid after a stop or
+          kill of the same host ({!validate} rejects anything else). *)
 
 type event = { at : int  (** Virtual time, ns. *); action : action }
 type t = { name : string; events : event list }
@@ -33,7 +45,10 @@ val pp : t Fmt.t
 
 val validate : n:int -> t -> (unit, string) result
 (** Check every event against a cluster of [n] hosts: ids in range, no
-    self-loop links, probabilities in [0,1], non-negative times. *)
+    self-loop links, probabilities in [0,1], non-negative times. Also
+    walks the schedule in firing order and rejects a {!Restart} of a host
+    that is not down at that point (never stopped/killed, or already
+    restarted). *)
 
 (** {1 JSON} *)
 
@@ -59,6 +74,11 @@ val lossy_fabric : n:int -> t
 (** 20% loss leader→followers plus 5µs extra delay on the return links
     from 3ms; heal at 40ms. *)
 
+val kill_restart : n:int -> t
+(** Kill the initial leader's host at 5ms, reboot it at 25ms: fail-over,
+    then durable-state restore, §5.4 re-admission and log catch-up to
+    parity under traffic. *)
+
 val named : string list
 val by_name : string -> n:int -> t option
 
@@ -67,6 +87,7 @@ val by_name : string -> n:int -> t option
 val generate : Sim.Rng.t -> n:int -> horizon:int -> t
 (** A random scenario over [0, horizon * 3/4], replayable from the PRNG's
     seed. Generated scenarios are liveness-safe: at most [(n-1)/2] hosts
-    are out at once (crashes consume the budget permanently), every pause
+    are out at once (a crash consumes the budget, but a crash paired with
+    a {!Restart} hands its slot back once the host reboots), every pause
     has a resume, every partition is healed, every probabilistic link
     fault is cleared, so a run that keeps submitting eventually commits. *)

@@ -16,6 +16,10 @@ type t = {
   disable_omit_prepare : bool;
   checksum_canary : bool;
   persistent_log : bool;
+  durable_state : bool;
+  queue_limit : int;
+  rejoin_batch : int;
+  rejoin_idle : int;
 }
 
 let default =
@@ -35,6 +39,10 @@ let default =
     disable_omit_prepare = false;
     checksum_canary = false;
     persistent_log = false;
+    durable_state = false;
+    queue_limit = 0;
+    rejoin_batch = 64;
+    rejoin_idle = 20_000;
   }
 
 let majority t = (t.n / 2) + 1
@@ -44,4 +52,7 @@ let validate t =
   if t.log_slots < 2 * t.recycle_slack then invalid_arg "Config: log too small for slack";
   if t.value_cap <= 0 then invalid_arg "Config: value_cap must be positive";
   if t.max_batch < 1 then invalid_arg "Config: max_batch must be >= 1";
-  if t.max_outstanding < 1 then invalid_arg "Config: max_outstanding must be >= 1"
+  if t.max_outstanding < 1 then invalid_arg "Config: max_outstanding must be >= 1";
+  if t.queue_limit < 0 then invalid_arg "Config: queue_limit must be >= 0";
+  if t.rejoin_batch < 1 then invalid_arg "Config: rejoin_batch must be >= 1";
+  if t.rejoin_idle < 0 then invalid_arg "Config: rejoin_idle must be >= 0"

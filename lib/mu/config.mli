@@ -42,6 +42,24 @@ type t = {
           log write pays the RDMA flush cost before acking, making Mu
           durable — the extension the paper anticipates once
           RDMA-to-persistent-memory hardware ships (§1). *)
+  durable_state : bool;
+      (** Back each replica's log and membership metadata with simulated
+          NVM ({!Sim.Nvm}) owned by the engine, so they survive a
+          {!Sim.Host.kill_host} and a rebooted replica restores them
+          before rejoining. Write-through by construction — the log's
+          memory region is registered over the NVM bytes — so enabling it
+          costs no extra virtual time or randomness. *)
+  queue_limit : int;
+      (** Bound on the leader's parked request queue while it cannot
+          commit (quorum lost): past this many queued requests, new
+          submissions are answered with a retryable error instead of
+          enqueued. [0] disables the bound. *)
+  rejoin_batch : int;
+      (** Log entries a rejoining replica pulls from the leader per
+          catch-up round (bounded-rate Listing-5 sweep). *)
+  rejoin_idle : int;
+      (** Ns a rejoining replica idles between catch-up rounds, bounding
+          the read pressure it puts on the leader's NIC. *)
 }
 
 val default : t

@@ -39,18 +39,22 @@ let clamp c v =
   let lo = c.Sim.Calibration.score_min and hi = c.Sim.Calibration.score_max in
   if v < lo then lo else if v > hi then hi else v
 
-(* One monitor fiber per peer: read its counter, score it, update the
-   alive table with hysteresis. *)
-let monitor_fiber t (p : Replica.peer) =
+(* One monitor fiber per peer id: read its counter, score it, update the
+   alive table with hysteresis. The peer record is re-resolved by id on
+   every round — a rebooted peer reappears under the same id with fresh
+   QPs, and the monitor must follow the new connection rather than poll a
+   dead one forever. *)
+let monitor_fiber t pid =
   let c = Replica.cal t in
-  Hashtbl.replace t.Replica.scores p.Replica.pid c.Sim.Calibration.score_max;
-  Hashtbl.replace t.Replica.alive p.Replica.pid true;
+  Hashtbl.replace t.Replica.scores pid c.Sim.Calibration.score_max;
+  Hashtbl.replace t.Replica.alive pid true;
   let buf = Bytes.create 8 in
   let rec loop () =
     if t.Replica.stop || t.Replica.removed then ()
-    else if not (List.exists (fun q -> q.Replica.pid = p.Replica.pid) t.Replica.peers)
-    then () (* peer was removed from the group *)
-    else begin
+    else
+    match Replica.peer_opt t pid with
+    | None -> () (* peer was removed from the group *)
+    | Some p ->
       Sim.Host.idle t.Replica.host c.Sim.Calibration.fd_read_interval;
       let advanced =
         if Rdma.Qp.state p.Replica.fd_qp <> Rdma.Verbs.Rts then false
@@ -111,7 +115,6 @@ let monitor_fiber t (p : Replica.peer) =
       else if (not alive) && score > c.Sim.Calibration.score_recover then
         flip true "recover";
       loop ()
-    end
   in
   loop ()
 
@@ -179,6 +182,6 @@ let start t ~on_role_change =
     (fun p ->
       Sim.Host.spawn t.Replica.host
         ~name:(Printf.sprintf "monitor-%d" p.Replica.pid)
-        (fun () -> monitor_fiber t p))
+        (fun () -> monitor_fiber t p.Replica.pid))
     t.Replica.peers;
   Sim.Host.spawn t.Replica.host ~name:"role" (fun () -> role_fiber t ~on_role_change)

@@ -67,10 +67,22 @@ let cal t = Sim.Host.calibration t.host
 let create_unwired eng calib config ~id =
   Config.validate config;
   let host = Sim.Host.create eng calib ~id ~name:(Printf.sprintf "replica%d" id) in
+  let log_size =
+    Log.required_size ~slots:config.Config.log_slots ~value_cap:config.Config.value_cap
+  in
+  (* With durable state on, the log MR is registered directly over the
+     host's NVM region: every slot write and the FUO header are
+     write-through durable, and a region left by a previous incarnation
+     of this id is picked up as-is — a rebooted replica comes up with its
+     pre-crash log already in place. *)
+  let log_backing =
+    if config.Config.durable_state then
+      Some (Recovery.Durable.log_backing (Sim.Engine.nvm eng) ~owner:id ~size:log_size)
+    else None
+  in
   let log_mr =
-    Rdma.Mr.register ~persistent:config.Config.persistent_log host
-      ~size:(Log.required_size ~slots:config.Config.log_slots ~value_cap:config.Config.value_cap)
-      ~access:Rdma.Verbs.access_rw
+    Rdma.Mr.register ~persistent:config.Config.persistent_log ?backing:log_backing host
+      ~size:log_size ~access:Rdma.Verbs.access_rw
   in
   let bg_mr =
     Rdma.Mr.register host ~size:(bg_size ~n:config.Config.n) ~access:Rdma.Verbs.access_rw
@@ -114,6 +126,15 @@ let create_unwired eng calib config ~id =
   }
 
 let already_wired a b = List.exists (fun p -> p.pid = b.id) a.peers
+
+(* Persist the member list this replica currently sees (self + peers) to
+   its durable meta region; no-op when durable state is off. Pure memory
+   writes — no virtual time, no randomness. *)
+let persist_members t =
+  if t.config.Config.durable_state then begin
+    let meta = Recovery.Durable.meta_backing (Sim.Engine.nvm (engine t)) ~owner:t.id in
+    Recovery.Durable.write_members meta (t.id :: List.map (fun p -> p.pid) t.peers)
+  end
 
 let wire a b =
   if a.id = b.id then invalid_arg "Replica.wire: cannot wire a replica to itself";
@@ -179,8 +200,31 @@ let wire a b =
     in
     let insert ps p = List.sort (fun x y -> compare x.pid y.pid) (p :: ps) in
     a.peers <- insert a.peers peer_of_b;
-    b.peers <- insert b.peers peer_of_a
+    b.peers <- insert b.peers peer_of_a;
+    persist_members a;
+    persist_members b
   end
+
+let unwire t ~pid =
+  match List.find_opt (fun p -> p.pid = pid) t.peers with
+  | None -> ()
+  | Some p ->
+    List.iter Rdma.Qp.disconnect [ p.repl_qp; p.fd_qp; p.perm_qp; p.req_qp; p.misc_qp ];
+    t.peers <- List.filter (fun q -> q.pid <> pid) t.peers;
+    (* Volatile per-peer state must go with the connection. In particular
+       a rebooted incarnation of [pid] restarts its permission request
+       generation at zero, so keeping the stale last-granted generation
+       would make this replica ignore its permission requests forever. *)
+    Hashtbl.remove t.last_granted pid;
+    Hashtbl.remove t.last_hb pid;
+    Hashtbl.remove t.scores pid;
+    Hashtbl.remove t.alive pid;
+    let confirmed = List.filter (fun i -> i <> pid) t.confirmed in
+    if confirmed <> t.confirmed then begin
+      t.confirmed <- confirmed;
+      t.need_new_followers <- true
+    end;
+    persist_members t
 
 let create_cluster eng calib config =
   let replicas = Array.init config.Config.n (fun id -> create_unwired eng calib config ~id) in

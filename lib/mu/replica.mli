@@ -103,7 +103,15 @@ val create_unwired :
 (** A replica not yet connected to anyone (for membership changes). *)
 
 val wire : t -> t -> unit
-(** Connect the planes of two replicas (idempotent per pair). *)
+(** Connect the planes of two replicas (idempotent per pair). When
+    durable state is on, both replicas' member lists are re-persisted. *)
+
+val unwire : t -> pid:int -> unit
+(** Tear down this replica's connection to peer [pid]: every QP toward it
+    is force-disconnected (both endpoints go to error, Velos-style), the
+    peer record is dropped, and per-peer volatile state (permission
+    grants, heartbeats, scores) is cleared so a rebooted incarnation of
+    [pid] can be {!wire}d afresh. No-op if [pid] is not a peer. *)
 
 (** {1 Accessors and helpers} *)
 

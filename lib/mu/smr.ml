@@ -13,13 +13,31 @@ type request = {
   submitted : int;
 }
 
+(* One completed rejoin (restart → log parity), kept for harnesses and
+   the bench reporter; the same numbers also land in telemetry. *)
+type rejoin = {
+  pid : int;
+  restarted_at : int;
+  parity_at : int;
+  entries_pulled : int;
+  pull_rounds : int;
+  recheckpoints : int;
+}
+
 type t = {
   engine : Sim.Engine.t;
   calibration : Sim.Calibration.t;
   cfg : Config.t;
   mutable replicas : Replica.t array;
   mutable apps : app array;
+  make_app : int -> app;
   incoming : request Sim.Engine.Chan.chan;
+  backpressure : Recovery.Backpressure.t;
+  (* Hosts with a restart pipeline in flight; guards double restarts. *)
+  restarting : (int, unit) Hashtbl.t;
+  mutable rejoins : rejoin list;
+  mutable degraded_windows : int;
+  mutable degraded_total_ns : int;
   (* Leader-side response cache: (replica id, slot index) → responses of
      the batch committed at that slot, filled by the on-commit hook. *)
   responses : (int * int, bytes list) Hashtbl.t;
@@ -39,6 +57,17 @@ let engine t = t.engine
 let config t = t.cfg
 let replicas t = t.replicas
 let replica t id = t.replicas.(id)
+let rejoins t = List.rev t.rejoins
+let restarts_in_flight t = Hashtbl.length t.restarting
+let shed_requests t = Recovery.Backpressure.sheds t.backpressure
+let degraded_windows t = t.degraded_windows
+let degraded_total_ns t = t.degraded_total_ns
+
+(* Retryable-error sentinel: returned instead of an application response
+   when a degraded leader sheds a request past the queue bound. The '!'
+   first byte is reserved — no application reply starts with it. *)
+let retryable_error = Bytes.of_string "!RETRY"
+let is_retryable b = Bytes.length b > 0 && Bytes.get b 0 = '!'
 
 (* --- batch framing ----------------------------------------------------- *)
 
@@ -126,14 +155,22 @@ let apply_config _t (r : Replica.t) op =
        the membership change in the log (§5.4). *)
     ()
 
-let install_commit_hook t (r : Replica.t) =
+(* [config_floor]: log index below which configuration entries are
+   replayed as no-ops. A rejoining replica reconstructs current
+   membership directly from the survivors while it is wired back in;
+   historical Remove/Add entries replayed from its durable log would
+   re-apply those transitions against the *current* member set (e.g. a
+   replica's own old Remove would stop its new incarnation). Entries at
+   or above the floor were decided after the rewiring and apply
+   normally. *)
+let install_commit_hook ?(config_floor = 0) t (r : Replica.t) =
   r.Replica.on_commit <-
     (fun idx value ->
       match decode_batch value with
       | None ->
         (match decode_config_op value with
-        | Some op -> apply_config t r op
-        | None -> ())
+        | Some op when idx >= config_floor -> apply_config t r op
+        | Some _ | None -> ())
       | Some payloads ->
         let app = t.apps.(r.Replica.id) in
         let resps = List.map (fun p -> app.apply p) payloads in
@@ -336,12 +373,30 @@ let serve_pipelined t (r : Replica.t) =
 let leader_service t (r : Replica.t) =
   let c = Replica.cal r in
   let pipelined = t.cfg.Config.max_outstanding > 1 in
+  (* Degraded-mode tracking: a window opens at the first establish that
+     fails (no quorum of permission acks — the leader can commit nothing
+     and requests park in the queue) and closes when an establish
+     succeeds or leadership is lost. Pure bookkeeping, no virtual time. *)
+  let deg = Recovery.Degrade.create () in
+  let close_degraded () =
+    match Recovery.Degrade.leave deg ~now:(Sim.Engine.now t.engine) with
+    | None -> ()
+    | Some d ->
+      t.degraded_windows <- t.degraded_windows + 1;
+      t.degraded_total_ns <- t.degraded_total_ns + d;
+      (match r.Replica.tel with Some tel -> Telem.degraded_ns tel d | None -> ())
+  in
   let rec loop () =
     if r.Replica.stop || r.Replica.removed then ()
     else begin
-      (if r.Replica.role <> Replica.Leader then
+      (if r.Replica.role <> Replica.Leader then begin
+         close_degraded ();
          Sim.Host.idle r.Replica.host c.Sim.Calibration.fd_read_interval
-       else if r.Replica.need_new_followers then ignore (establish t r)
+       end
+       else if r.Replica.need_new_followers then begin
+         if establish t r then close_degraded ()
+         else Recovery.Degrade.enter deg ~now:(Sim.Engine.now t.engine)
+       end
        else if pipelined then serve_pipelined t r
        else serve_simple t r);
       loop ()
@@ -362,7 +417,13 @@ let create eng calibration cfg ~make_app =
       cfg;
       replicas;
       apps;
+      make_app;
       incoming = Sim.Engine.Chan.create eng;
+      backpressure = Recovery.Backpressure.create ~limit:cfg.Config.queue_limit;
+      restarting = Hashtbl.create 4;
+      rejoins = [];
+      degraded_windows = 0;
+      degraded_total_ns = 0;
       responses = Hashtbl.create 64;
       prov_requests = Hashtbl.create 64;
       establish_span = 0;
@@ -412,7 +473,7 @@ let serving_leader t =
    (at-least-once; see the interface comment). *)
 let client_retry_interval = 2_000_000
 
-let submit_async ?(retry = true) t payload =
+let submit_admitted ~retry t payload =
   let resp = Sim.Engine.Ivar.create t.engine in
   let prov =
     if not (Sim.Engine.provenance_on t.engine) then 0
@@ -443,6 +504,25 @@ let submit_async ?(retry = true) t payload =
         in
         watch ());
   resp
+
+let submit_async ?(retry = true) t payload =
+  (* Graceful degradation: a quorum-lost leader parks requests instead of
+     committing them, so the incoming queue is the overload signal. Past
+     the configured bound we answer immediately with a retryable error
+     rather than growing the backlog without bound. *)
+  if
+    Recovery.Backpressure.admit t.backpressure
+      ~depth:(Sim.Engine.Chan.length t.incoming)
+  then submit_admitted ~retry t payload
+  else begin
+    (match serving_leader t with
+    | Some l -> (
+      match l.Replica.tel with Some tel -> Telem.shed tel | None -> ())
+    | None -> ());
+    let resp = Sim.Engine.Ivar.create t.engine in
+    Sim.Engine.Ivar.fill resp (Bytes.copy retryable_error);
+    resp
+  end
 
 let submit t payload = Sim.Engine.Ivar.read (submit_async t payload)
 
@@ -484,7 +564,10 @@ let propose_config_entry t op =
   in
   let rec try_commit attempts =
     if attempts = 0 then failwith "propose_config_entry: no leader committed the entry";
-    match leader t with
+    (* [serving_leader], not [leader]: a crashed ex-leader keeps its stale
+       Leader role forever (its role fiber cannot run to demote it), which
+       would otherwise make the claimant set permanently ambiguous. *)
+    match serving_leader t with
     | Some r when not r.Replica.need_new_followers -> (
       (* Run the propose on the leader's host. Applying a Remove drops the
          peer from the survivors' tables, so capture the handle first: the
@@ -509,7 +592,15 @@ let propose_config_entry t op =
              | Some _ | None -> ()
            with Replication.Aborted _ -> ());
           Sim.Engine.Ivar.fill done_ ());
-      Sim.Engine.Ivar.read done_;
+      (* Bounded wait: if the leader's host dies mid-propose its fiber
+         parks forever and [done_] never fills — time out and retry
+         against the next serving leader instead of hanging. *)
+      let deadline = Sim.Engine.now t.engine + 20_000_000 in
+      while
+        (not (Sim.Engine.Ivar.is_filled done_)) && Sim.Engine.now t.engine < deadline
+      do
+        Sim.Engine.sleep t.engine 50_000
+      done;
       if committed () then Sim.Engine.Ivar.try_fill resp () |> ignore
       else begin
         Sim.Engine.sleep t.engine 100_000;
@@ -523,6 +614,37 @@ let propose_config_entry t op =
   Sim.Engine.Ivar.read resp
 
 let remove_replica t ~id = propose_config_entry t (Remove id)
+
+(* Checkpoint transfer (§5.4): "Mu uses the standard approach of
+   check-pointing state; we do so from one of the followers" — taking the
+   snapshot off the leader's critical path, falling back to the leader if
+   no live follower exists. Shared by [add_replica] and the rejoin
+   pipeline, which may call it repeatedly (the first checkpoint races the
+   recycler; a recycled entry forces a fresh one). Only ever moves the
+   target forward; decided durable entries past the checkpoint replay
+   from the target's own log. *)
+let install_checkpoint t (newcomer : Replica.t) (l : Replica.t) =
+  let id = newcomer.Replica.id in
+  let source =
+    Array.to_list t.replicas
+    |> List.find_opt (fun (r : Replica.t) ->
+           r.Replica.id <> l.Replica.id
+           && r.Replica.id <> id
+           && (not r.Replica.removed)
+           && Sim.Host.process_alive r.Replica.host)
+    |> Option.value ~default:l
+  in
+  let s = source.Replica.applied in
+  if s > newcomer.Replica.applied then begin
+    let snap = t.apps.(source.Replica.id).snapshot () in
+    t.apps.(id).install snap;
+    newcomer.Replica.applied <- s;
+    if Log.fuo newcomer.Replica.log < s then Log.set_fuo newcomer.Replica.log s;
+    newcomer.Replica.zeroed_up_to <- s
+  end;
+  Replica.apply_committed newcomer;
+  Rdma.Mr.set_i64 newcomer.Replica.bg_mr ~off:Replica.bg_log_head_offset
+    (Int64.of_int newcomer.Replica.applied)
 
 let add_replica t () =
   let id = t.next_id in
@@ -538,29 +660,254 @@ let add_replica t () =
      overwritten by the checkpoint. *)
   t.apps <- new_apps;
   install_commit_hook t newcomer;
-  (* Checkpoint transfer (§5.4): "Mu uses the standard approach of
-     check-pointing state; we do so from one of the followers" — taking
-     the snapshot off the leader's critical path. Fall back to the leader
-     if no live follower exists. *)
   (match leader t with
   | Some l ->
-    let source =
-      Array.to_list t.replicas
-      |> List.find_opt (fun (r : Replica.t) ->
-             r.Replica.id <> l.Replica.id
-             && r.Replica.id <> id
-             && (not r.Replica.removed)
-             && Sim.Host.process_alive r.Replica.host)
-      |> Option.value ~default:l
-    in
-    let snap = t.apps.(source.Replica.id).snapshot () in
-    t.apps.(id).install snap;
-    newcomer.Replica.applied <- source.Replica.applied;
-    Log.set_fuo newcomer.Replica.log source.Replica.applied;
-    newcomer.Replica.zeroed_up_to <- source.Replica.applied;
-    Rdma.Mr.set_i64 newcomer.Replica.bg_mr ~off:Replica.bg_log_head_offset
-      (Int64.of_int newcomer.Replica.applied);
+    install_checkpoint t newcomer l;
     l.Replica.need_new_followers <- true
   | None -> ());
   start_replica t newcomer;
   newcomer
+
+(* --- crash recovery: restart + rejoin (tying §5.4 to durable state) ----- *)
+
+(* Durable logs survive a crash with a tail of accepted-but-undecided
+   entries at indices at or past the restored FUO. Those may conflict
+   with values the cluster decided while we were down, and a follower's
+   replayer would otherwise self-advance over them as if they were
+   decided. Accepts land contiguously from the FUO, so zeroing forward
+   until the first empty slot erases exactly the undecided tail; the
+   recycler's slack guarantees a zeroed gap exists before the scan could
+   wrap into retained decided entries. *)
+let truncate_undecided (log : Log.t) =
+  let slots = Log.slots log in
+  let fuo = Log.fuo log in
+  let idx = ref fuo in
+  while !idx < fuo + slots && Bytes.get_int64_le (Log.read_slot_raw log !idx) 0 <> 0L do
+    Log.zero_slot_local log !idx;
+    incr idx
+  done
+
+let rejoin_fiber t (newcomer : Replica.t) ~t0 ~span =
+  let e = t.engine in
+  let id = newcomer.Replica.id in
+  let log = newcomer.Replica.log in
+  let canary = if t.cfg.Config.checksum_canary then Log.Checksum else Log.Flag in
+  let slot_size = Log.slot_size log in
+  let stopped () = newcomer.Replica.stop || newcomer.Replica.removed in
+  let leader_peer () =
+    match serving_leader t with
+    | Some l when l.Replica.id <> id -> Replica.peer_opt newcomer l.Replica.id
+    | Some _ | None -> None
+  in
+  (* Catch-up reads ride the replication QP — always readable (§5.2) —
+     and this fiber is the sole consumer of the newcomer's replication CQ
+     until the replica starts at parity. *)
+  let read_remote (p : Replica.peer) ~src_off ~len ~dst =
+    Rdma.Qp.repair p.Replica.repl_qp;
+    if Rdma.Qp.state p.Replica.repl_qp <> Rdma.Verbs.Rts then false
+    else begin
+      Rdma.Qp.post_read p.Replica.repl_qp ~wr_id:(Replica.fresh_wr_id newcomer)
+        ~dst ~dst_off:0 ~len ~mr:p.Replica.remote_log_mr ~src_off;
+      let wc = Rdma.Cq.await newcomer.Replica.repl_cq in
+      wc.Rdma.Verbs.status = Rdma.Verbs.Success
+    end
+  in
+  let publish_head () =
+    Rdma.Mr.set_i64 newcomer.Replica.bg_mr ~off:Replica.bg_log_head_offset
+      (Int64.of_int newcomer.Replica.applied)
+  in
+  let target () =
+    match leader_peer () with
+    | None -> None
+    | Some p ->
+      let buf = Bytes.create 8 in
+      if read_remote p ~src_off:mu_log_fuo_offset ~len:8 ~dst:buf then
+        Some (Int64.to_int (Bytes.get_int64_le buf 0))
+      else None
+  in
+  let pull idx =
+    match leader_peer () with
+    | None -> Recovery.Catchup.Unreachable
+    | Some p ->
+      let buf = Bytes.create slot_size in
+      if not (read_remote p ~src_off:(Log.slot_offset log idx) ~len:slot_size ~dst:buf)
+      then Recovery.Catchup.Unreachable
+      else (
+        match Log.decode_slot ~canary buf with
+        | Some _ -> Recovery.Catchup.Entry buf
+        | None -> Recovery.Catchup.Recycled)
+  in
+  let install idx img = Log.write_slot_raw_local log idx img in
+  let commit idx =
+    Log.set_fuo log idx;
+    Replica.apply_committed newcomer;
+    publish_head ()
+  in
+  let recheckpoint () =
+    match serving_leader t with
+    | None -> ()
+    | Some l -> install_checkpoint t newcomer l
+  in
+  (* Recover the application first. If the durable log is complete from
+     the origin (nothing recycled before the crash), replay it locally —
+     the pure durable-restore path. Otherwise wait for a serving leader
+     and take a fresh checkpoint (§5.4). *)
+  let rec restore () =
+    if stopped () then false
+    else if Log.fuo log = 0 || Log.read_slot log 0 <> None then begin
+      Replica.apply_committed newcomer;
+      publish_head ();
+      true
+    end
+    else
+      match serving_leader t with
+      | Some l ->
+        install_checkpoint t newcomer l;
+        true
+      | None ->
+        Sim.Host.idle newcomer.Replica.host 100_000;
+        restore ()
+  in
+  let finish outcome_args =
+    if span <> 0 then Sim.Engine.span_close e ~pid:id ~args:outcome_args span;
+    Hashtbl.remove t.restarting id
+  in
+  if not (restore ()) then finish [ ("outcome", "stopped") ]
+  else begin
+    if span <> 0 then
+      Sim.Engine.span_point e ~pid:id ~span "restored"
+        ~args:[ ("applied", string_of_int newcomer.Replica.applied) ];
+    match
+      Recovery.Catchup.run ~batch:t.cfg.Config.rejoin_batch
+        ~idle_ns:t.cfg.Config.rejoin_idle
+        ~idle:(fun ns -> Sim.Host.idle newcomer.Replica.host ns)
+        ~target
+        ~fuo:(fun () -> Log.fuo log)
+        ~pull ~install ~commit ~recheckpoint ~stopped ()
+    with
+    | Recovery.Catchup.Stopped _ -> finish [ ("outcome", "stopped") ]
+    | Recovery.Catchup.Parity p ->
+      let now = Sim.Engine.now e in
+      t.rejoins <-
+        {
+          pid = id;
+          restarted_at = t0;
+          parity_at = now;
+          entries_pulled = p.Recovery.Catchup.entries;
+          pull_rounds = p.Recovery.Catchup.rounds;
+          recheckpoints = p.Recovery.Catchup.recheckpoints;
+        }
+        :: t.rejoins;
+      (match newcomer.Replica.tel with
+      | Some tel ->
+        Telem.rejoin_parity_ns tel (now - t0);
+        Telem.catch_up tel p.Recovery.Catchup.entries
+      | None -> ());
+      if Sim.Engine.traced e then
+        Sim.Engine.trace_instant e ~cat:"mu" ~pid:id
+          ~args:
+            [ ("entries", string_of_int p.Recovery.Catchup.entries);
+              ("ns", string_of_int (now - t0)) ]
+          "rejoin_parity";
+      (* At log parity, start the planes and ask the current leader to
+         grow its confirmed-follower set: its next establish() writes us
+         a permission request, our permission fiber acks it, and
+         Listing 6 pushes any entries decided during the hand-off. *)
+      start_replica t newcomer;
+      (match serving_leader t with
+      | Some l when l.Replica.id <> id -> l.Replica.need_new_followers <- true
+      | Some _ | None -> ());
+      finish
+        [ ("outcome", "parity");
+          ("entries", string_of_int p.Recovery.Catchup.entries) ]
+  end
+
+let restart_fiber t id =
+  let old_r = t.replicas.(id) in
+  if
+    Hashtbl.mem t.restarting id
+    || (Sim.Host.process_alive old_r.Replica.host && not old_r.Replica.stop)
+  then () (* already running, or a restart is already in flight *)
+  else begin
+    Hashtbl.replace t.restarting id ();
+    let e = t.engine in
+    let t0 = Sim.Engine.now e in
+    let span =
+      if Sim.Engine.provenance_on e then
+        Sim.Engine.span_open e ~pid:id ~parent:0
+          ~args:[ ("host", string_of_int id) ]
+          "rejoin"
+      else 0
+    in
+    (* 1. Re-admission. A replica that was killed but never removed is
+       still a member — no configuration entry is needed (and requiring
+       one would deadlock quorum restoration: the entry could not commit
+       without the very replica that is rejoining). Only a previously
+       *removed* replica must be re-added through a §5.4 configuration
+       entry; the cluster may be mid-fail-over, so retry until some
+       serving leader commits it. *)
+    let rec admit attempts =
+      match propose_config_entry t (Add id) with
+      | () -> true
+      | exception Failure _ ->
+        if attempts <= 1 then false
+        else begin
+          Sim.Engine.sleep e 1_000_000;
+          admit (attempts - 1)
+        end
+    in
+    if old_r.Replica.removed && not (admit 10) then begin
+      (* No leader for the whole window — give up; a later restart event
+         can try again. *)
+      if span <> 0 then
+        Sim.Engine.span_close e ~pid:id ~args:[ ("outcome", "no_leader") ] span;
+      Hashtbl.remove t.restarting id
+    end
+    else begin
+      (* 2. Fresh incarnation on a new host; with durable state on, the
+         log MR restores from NVM and the undecided tail is truncated. *)
+      let newcomer = Replica.create_unwired t.engine t.calibration t.cfg ~id in
+      truncate_undecided newcomer.Replica.log;
+      let durable_fuo = Log.fuo newcomer.Replica.log in
+      (* 3. Rewire the survivors to the new incarnation: tear down every
+         stale connection to the dead host, connect fresh QPs, and pin
+         the newcomer's score at the floor so elections ignore it until
+         real heartbeats lift it past the hysteresis band. No yield
+         happens in this block, so no fiber observes a half-wired
+         cluster. *)
+      let config_floor = ref 0 in
+      Array.iter
+        (fun (r : Replica.t) ->
+          if r.Replica.id <> id && not r.Replica.removed then begin
+            Replica.unwire r ~pid:id;
+            Replica.wire r newcomer;
+            Hashtbl.replace r.Replica.scores id
+              t.calibration.Sim.Calibration.score_min;
+            Hashtbl.replace r.Replica.alive id false;
+            if Sim.Host.process_alive r.Replica.host then
+              config_floor := max !config_floor (Log.fuo r.Replica.log)
+          end)
+        t.replicas;
+      t.replicas.(id) <- newcomer;
+      t.apps.(id) <- t.make_app id;
+      (* Configuration entries already reflected in the membership just
+         reconstructed must not re-apply during replay; the floor is the
+         highest FUO any live member has at wiring time (no yield since). *)
+      install_commit_hook ~config_floor:!config_floor t newcomer;
+      if span <> 0 then
+        Sim.Engine.span_point e ~pid:id ~span "rewired"
+          ~args:[ ("durable_fuo", string_of_int durable_fuo) ];
+      (* 4. Restore state and catch up at bounded rate on the new host's
+         own fibers, then rejoin the confirmed-follower set. *)
+      Sim.Host.spawn newcomer.Replica.host ~name:"rejoin" (fun () ->
+          rejoin_fiber t newcomer ~t0 ~span)
+    end
+  end
+
+let restart_replica t ~id =
+  if id < 0 || id >= Array.length t.replicas then
+    invalid_arg (Printf.sprintf "Smr.restart_replica: unknown replica %d" id);
+  (* Callable from scheduler context (the fault injector's callback runs
+     there); the pipeline itself needs a fiber. *)
+  Sim.Engine.spawn t.engine ~name:(Printf.sprintf "restart-%d" id) ~pid:id
+    (fun () -> restart_fiber t id)

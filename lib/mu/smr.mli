@@ -61,7 +61,20 @@ val submit_async : ?retry:bool -> t -> bytes -> bytes Sim.Engine.Ivar.ivar
     response once the request commits and executes at the leader.
     [retry] (default true) enables client-side retransmission after a
     timeout, covering requests captured by a leader that then fails;
-    throughput harnesses that generate their own load can disable it. *)
+    throughput harnesses that generate their own load can disable it.
+
+    When [config.queue_limit] is positive and the incoming queue is
+    already at the bound — the signature of a quorum-lost leader parking
+    requests — the request is {e shed}: the ivar fills immediately with
+    {!retryable_error} and nothing is enqueued. *)
+
+val retryable_error : bytes
+(** Response sentinel for shed requests. Its first byte ['!'] is
+    reserved: no application response starts with it. *)
+
+val is_retryable : bytes -> bool
+(** Whether a response is the shed sentinel (clients should back off and
+    retry; the request was never enqueued). *)
 
 val submit : t -> bytes -> bytes
 (** {!submit_async} then block (must run inside a fiber). *)
@@ -89,6 +102,49 @@ val add_replica : t -> unit -> Replica.t
     the newcomer is never anyone's leader candidate while unmonitored, so
     leader election is unaffected; it is fully monitored by any replica
     (re)started after the join. *)
+
+(** {1 Crash recovery}
+
+    With [config.durable_state] on, each replica's log and membership
+    metadata live in simulated NVM ({!Sim.Nvm}) and survive a
+    [kill_host]. {!restart_replica} boots a fresh incarnation under the
+    same id and runs the rejoin pipeline: re-admission via a §5.4
+    configuration entry, durable-log restore (truncating the
+    accepted-but-undecided tail), checkpoint transfer when the durable
+    prefix was recycled, bounded-rate catch-up from the leader
+    ({!Recovery.Catchup}), and — only at exact log parity — plane
+    start-up and confirmed-follower re-entry. *)
+
+val restart_replica : t -> id:int -> unit
+(** Restart replica [id] after its host was killed or its process
+    stopped. Callable from scheduler context (e.g. a fault-injector
+    callback): the pipeline runs on freshly spawned fibers. No-op if the
+    old incarnation is still running or a restart is already in flight.
+    Raises [Invalid_argument] for an unknown id. *)
+
+(** One completed rejoin, restart → log parity (virtual ns). *)
+type rejoin = {
+  pid : int;
+  restarted_at : int;
+  parity_at : int;
+  entries_pulled : int;  (** Entries copied from the leader's log. *)
+  pull_rounds : int;  (** Bounded-rate catch-up rounds. *)
+  recheckpoints : int;  (** Checkpoint re-transfers forced by recycling. *)
+}
+
+val rejoins : t -> rejoin list
+(** Completed rejoins, oldest first. *)
+
+val restarts_in_flight : t -> int
+(** Restart pipelines currently running (admission, catch-up, …). *)
+
+val shed_requests : t -> int
+(** Requests refused with {!retryable_error} by the queue bound. *)
+
+val degraded_windows : t -> int
+val degraded_total_ns : t -> int
+(** Count and total duration of completed quorum-lost windows in which a
+    leader could not establish a majority of confirmed followers. *)
 
 (** {1 Batch framing} — exposed for tests. *)
 

@@ -13,6 +13,10 @@ type t = {
   watermark : Telemetry.Registry.gauge;
   recycle_skips : Telemetry.Registry.counter;
   recycler_errors : Telemetry.Registry.counter;
+  rejoin_parity : Telemetry.Hdr.t;
+  catch_up_entries : Telemetry.Registry.counter;
+  shed_requests : Telemetry.Registry.counter;
+  degraded : Telemetry.Hdr.t;
   (* mu_score gauges are per (replica, peer); peers are discovered as
      the failure detector first reads them. *)
   score_gauges : (int, Telemetry.Registry.gauge) Hashtbl.t;
@@ -47,6 +51,22 @@ let create reg ~id =
       Telemetry.Registry.counter reg
         ~help:"Error completions on recycler head reads and zeroing writes" ~labels
         "mu_recycler_errors_total";
+    rejoin_parity =
+      Telemetry.Registry.histogram reg
+        ~help:"Restart-to-log-parity latency of a rejoining replica" ~labels
+        "mu_rejoin_time_to_parity_ns";
+    catch_up_entries =
+      Telemetry.Registry.counter reg
+        ~help:"Log entries pulled from the leader during rejoin catch-up" ~labels
+        "mu_catch_up_entries_total";
+    shed_requests =
+      Telemetry.Registry.counter reg
+        ~help:"Requests refused with a retryable error by a degraded leader's queue bound"
+        ~labels "mu_shed_requests_total";
+    degraded =
+      Telemetry.Registry.histogram reg
+        ~help:"Duration of leader degraded-mode windows (quorum lost)" ~labels
+        "mu_degraded_ns";
     score_gauges = Hashtbl.create 8;
   }
 
@@ -76,3 +96,10 @@ let commit_fuo t v = Telemetry.Registry.Gauge.set t.fuo v
 let recycle t v = Telemetry.Registry.Gauge.set t.watermark v
 let replication_ns t ns = Telemetry.Hdr.record t.replication ns
 let commit_ns t ns = Telemetry.Hdr.record t.commit ns
+let rejoin_parity_ns t ns = Telemetry.Hdr.record t.rejoin_parity ns
+
+let catch_up t n =
+  if n > 0 then Telemetry.Registry.Counter.add t.catch_up_entries n
+
+let shed t = Telemetry.Registry.Counter.inc t.shed_requests
+let degraded_ns t ns = Telemetry.Hdr.record t.degraded ns

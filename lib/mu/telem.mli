@@ -31,3 +31,15 @@ val recycle_skip : t -> unit
 val recycler_error : t -> unit
 val replication_ns : t -> int -> unit
 val commit_ns : t -> int -> unit
+
+(** {1 Crash recovery}
+
+    [rejoin_parity_ns] records the restart→log-parity latency of a
+    rejoin; [catch_up] adds entries pulled from the leader during it;
+    [shed] counts requests refused by a degraded leader's queue bound;
+    [degraded_ns] records completed quorum-lost windows. *)
+
+val rejoin_parity_ns : t -> int -> unit
+val catch_up : t -> int -> unit
+val shed : t -> unit
+val degraded_ns : t -> int -> unit

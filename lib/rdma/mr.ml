@@ -7,9 +7,17 @@ type t = {
   persistent : bool;
 }
 
-let register ?(persistent = false) host ~size ~access =
+let register ?(persistent = false) ?backing host ~size ~access =
   if size <= 0 then invalid_arg "Mr.register: size must be positive";
-  { host; buf = Bytes.make size '\000'; access; valid = true; write_hook = None; persistent }
+  let buf =
+    match backing with
+    | None -> Bytes.make size '\000'
+    | Some b ->
+      if Bytes.length b <> size then
+        invalid_arg "Mr.register: backing size does not match region size";
+      b
+  in
+  { host; buf; access; valid = true; write_hook = None; persistent }
 
 let alias t ~access =
   {

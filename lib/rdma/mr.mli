@@ -8,12 +8,17 @@
 
 type t
 
-val register : ?persistent:bool -> Sim.Host.t -> size:int -> access:Verbs.access -> t
+val register :
+  ?persistent:bool -> ?backing:Bytes.t -> Sim.Host.t -> size:int -> access:Verbs.access -> t
 (** Register a fresh zero-filled region. Instantaneous (initial
     registration cost is off the critical path); re-registration cost is
     modelled by {!Perm.rereg_mr}. [persistent] marks the region as remote
     persistent memory: incoming Writes pay the flush cost before acking
-    (the paper's anticipated persistence extension, §1). *)
+    (the paper's anticipated persistence extension, §1). [backing]
+    registers the MR over caller-provided bytes instead of a fresh
+    buffer — used to map a {!Sim.Nvm} region so every write (local or
+    remote) lands in durable memory by construction; the length must
+    equal [size]. *)
 
 val alias : t -> access:Verbs.access -> t
 (** Register the same memory again with different flags (overlapping MR). *)

@@ -92,6 +92,15 @@ let mark_err t =
 
 let set_state t s = if s = Verbs.Err then mark_err t else t.state <- s
 let repair t = if t.state = Verbs.Err then t.state <- Verbs.Rts
+
+(* Tear down a connection for good: both endpoints go to ERR and stay
+   there (repair would bring them back, but a disconnected pair is meant
+   to be replaced by fresh QPs — the re-establishment path a host takes
+   after a reboot). Posted-but-undelivered operations still complete,
+   with whatever status the transport assigns them. *)
+let disconnect t =
+  mark_err t;
+  match t.peer with Some p -> mark_err p | None -> ()
 let outstanding t = t.outstanding
 let link_up t = t.link.up
 let set_link_up t up = t.link.up <- up

@@ -50,6 +50,12 @@ val repair : t -> unit
     posted (the "gracefully handling broken RDMA connections" machinery of
     §6; its latency is folded into the permission grant). *)
 
+val disconnect : t -> unit
+(** Move both endpoints to ERR permanently — the pair is being replaced,
+    not repaired. Used when a host reboots: its surviving peers tear down
+    the stale connections and establish fresh QPs to the new incarnation
+    (QP re-establishment, as in Velos' connection recovery). *)
+
 val outstanding : t -> int
 (** Posted but not yet completed work requests on this QP. *)
 

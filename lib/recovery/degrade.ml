@@ -1,0 +1,35 @@
+(* Degraded-mode window tracking for a leader that lost its quorum.
+
+   A window opens at the first failed attempt to (re-)establish a
+   majority of confirmed followers and closes when an establishment
+   succeeds or the replica stops being leader. The tracker is pure
+   bookkeeping — entering or leaving consumes no virtual time — so it
+   can sit in the leader service loop without perturbing timing. *)
+
+type t = {
+  mutable since : int option;
+  mutable windows : int;
+  mutable total_ns : int;
+  mutable last_ns : int option;
+}
+
+let create () = { since = None; windows = 0; total_ns = 0; last_ns = None }
+
+let active t = t.since <> None
+
+let enter t ~now = if t.since = None then t.since <- Some now
+
+let leave t ~now =
+  match t.since with
+  | None -> None
+  | Some t0 ->
+    t.since <- None;
+    let d = now - t0 in
+    t.windows <- t.windows + 1;
+    t.total_ns <- t.total_ns + d;
+    t.last_ns <- Some d;
+    Some d
+
+let windows t = t.windows
+let total_ns t = t.total_ns
+let last_ns t = t.last_ns

@@ -1,0 +1,23 @@
+(** Degraded-mode window tracking.
+
+    A degraded window spans from a leader's first failed quorum
+    (re-)establishment to the establishment that succeeds (or its
+    demotion). Bookkeeping only — no virtual time is consumed. *)
+
+type t
+
+val create : unit -> t
+val active : t -> bool
+
+val enter : t -> now:int -> unit
+(** Open a window at [now] if none is open. *)
+
+val leave : t -> now:int -> int option
+(** Close the open window, returning its duration (ns); [None] if no
+    window was open. *)
+
+val windows : t -> int
+(** Completed windows. *)
+
+val total_ns : t -> int
+val last_ns : t -> int option

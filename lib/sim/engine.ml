@@ -7,6 +7,7 @@ type t = {
   mutable running : bool;
   probe : Probe.t;
   fabric : Fabric.t;
+  nvm : Nvm.t;
   mutable next_fiber : int;
   mutable cur_fiber : int;
   mutable cur_pid : int;
@@ -43,6 +44,7 @@ let create ?(seed = 1L) () =
     running = false;
     probe = Probe.create ();
     fabric = Fabric.create ();
+    nvm = Nvm.create ();
     next_fiber = 0;
     cur_fiber = 0;
     cur_pid = -1;
@@ -58,6 +60,7 @@ let create ?(seed = 1L) () =
 let now t = t.now
 let rng t = t.root_rng
 let fabric t = t.fabric
+let nvm t = t.nvm
 let pending_events t = Heap.length t.events
 
 (* Telemetry ------------------------------------------------------------ *)

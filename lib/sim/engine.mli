@@ -30,6 +30,10 @@ val fabric : t -> Fabric.t
 (** The engine's fault-injection table, consulted by the RDMA layer on
     every post. Empty by default; see {!Fabric}. *)
 
+val nvm : t -> Nvm.t
+(** The engine's simulated non-volatile memory: per-owner byte regions
+    that survive {!Host.kill_host}, for crash-recovery experiments. *)
+
 val schedule : t -> at:int -> (unit -> unit) -> unit
 (** Schedule a thunk at an absolute time (>= [now]). *)
 

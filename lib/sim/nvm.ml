@@ -1,0 +1,34 @@
+(* Simulated non-volatile memory: named byte regions keyed by owner id
+   that survive host crashes. A host's volatile state dies with
+   [Host.kill_host]; regions in this store belong to the *machine
+   identity* (the replica id), so a restarted host re-opens them and
+   finds the bytes its previous incarnation wrote.
+
+   Write-through is modelled by handing out the region's backing bytes
+   directly (see [Rdma.Mr.register ~backing]): every store into the
+   mapped region *is* a store into NVM, with no copy and no extra
+   virtual time. Latency of flushing to the persistence domain is
+   modelled separately ([Calibration.pmem_flush], used by the
+   persistent-log path); this module is only about survival. *)
+
+type t = { regions : (int * string, Bytes.t) Hashtbl.t }
+
+let create () = { regions = Hashtbl.create 16 }
+
+let region t ~owner ~name ~size =
+  if size <= 0 then invalid_arg "Nvm.region: size must be positive";
+  match Hashtbl.find_opt t.regions (owner, name) with
+  | Some b ->
+    if Bytes.length b <> size then
+      invalid_arg
+        (Printf.sprintf "Nvm.region: %s/%d exists with size %d, requested %d" name owner
+           (Bytes.length b) size);
+    b
+  | None ->
+    let b = Bytes.make size '\000' in
+    Hashtbl.replace t.regions (owner, name) b;
+    b
+
+let mem t ~owner ~name = Hashtbl.mem t.regions (owner, name)
+
+let erase t ~owner ~name = Hashtbl.remove t.regions (owner, name)

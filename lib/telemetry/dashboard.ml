@@ -87,6 +87,77 @@ let failover_breakdown reg =
       phases;
     Buffer.contents b
 
+(* --- crash recovery ------------------------------------------------------ *)
+
+(* Rejoin/degradation instruments in one table, keyed by replica label:
+   restart-to-parity latency, entries pulled during catch-up, requests
+   shed by the queue bound, and quorum-lost window time. Counters don't
+   appear in the percentile table, so they get their own section. *)
+let recovery_summary reg =
+  let counter_value name labels =
+    List.find_map
+      (fun (m : Registry.metric) ->
+        match m.kind with
+        | Registry.Counter c when m.name = name && m.labels = labels ->
+          Some (Registry.Counter.value c)
+        | _ -> None)
+      (Registry.metrics reg)
+  in
+  let rows =
+    List.filter_map
+      (fun ((m : Registry.metric), h) ->
+        if m.name = "mu_rejoin_time_to_parity_ns" then Some (m.labels, h) else None)
+      (histograms reg)
+  in
+  let shed_total =
+    List.fold_left
+      (fun acc (m : Registry.metric) ->
+        match m.kind with
+        | Registry.Counter c when m.name = "mu_shed_requests_total" ->
+          acc + Registry.Counter.value c
+        | _ -> acc)
+      0 (Registry.metrics reg)
+  in
+  let degraded =
+    List.filter_map
+      (fun ((m : Registry.metric), h) ->
+        if m.name = "mu_degraded_ns" then Some h else None)
+      (histograms reg)
+  in
+  if rows = [] && shed_total = 0 && degraded = [] then ""
+  else begin
+    let b = Buffer.create 512 in
+    if rows <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "%-22s %8s %16s %12s\n" "rejoin" "count" "parity p50(us)"
+           "entries");
+      List.iter
+        (fun (labels, h) ->
+          let p50 = match Hdr.quantile h 0.5 with Some v -> ns_to_us v | None -> 0. in
+          let entries =
+            match counter_value "mu_catch_up_entries_total" labels with
+            | Some v -> string_of_int v
+            | None -> "-"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%-22s %8d %16.2f %12s\n" (label_string labels)
+               (Hdr.count h) p50 entries))
+        rows
+    end;
+    List.iter
+      (fun h ->
+        let total =
+          (* Sum via count * mean is unavailable; report count and p50. *)
+          match Hdr.quantile h 0.5 with Some v -> ns_to_us v | None -> 0.
+        in
+        Buffer.add_string b
+          (Printf.sprintf "degraded windows: %d (median %.2f us)\n" (Hdr.count h) total))
+      degraded;
+    if shed_total > 0 then
+      Buffer.add_string b (Printf.sprintf "shed requests: %d\n" shed_total);
+    Buffer.contents b
+  end
+
 (* --- score timeline ------------------------------------------------------ *)
 
 (* One row per (replica, peer, epoch) score series that actually moved.
@@ -188,6 +259,7 @@ let render ?sampler reg =
   in
   section "latency percentiles" (percentile_table reg);
   section "fail-over breakdown" (failover_breakdown reg);
+  section "crash recovery" (recovery_summary reg);
   (match sampler with
   | Some s -> section "failure-detector scores" (score_timeline s)
   | None -> ());

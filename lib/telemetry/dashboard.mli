@@ -15,6 +15,13 @@ val failover_breakdown : Registry.t -> string
 (** Median/p99 and share-of-total for the [failover_*_ns] histograms;
     empty string if no fail-over ran. *)
 
+val recovery_summary : Registry.t -> string
+(** Crash-recovery instruments: per-replica rejoin count, median
+    restart-to-parity latency and catch-up entries pulled
+    ([mu_rejoin_time_to_parity_ns] / [mu_catch_up_entries_total]), plus
+    degraded-window and shed-request totals; empty string if no
+    recovery ran. *)
+
 val score_timeline : ?width:int -> ?fail:int -> ?recover:int -> Sampler.t -> string
 (** One row per (replica, peer, epoch) [mu_score] series that crossed
     below [fail] (default 2); scores render as one hex digit (0-f) per

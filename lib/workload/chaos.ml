@@ -12,13 +12,28 @@ type outcome = {
   committed : int;
   linearizable : bool;
   violations : Mu.Invariants.violation list;
+  rejoins : Mu.Smr.rejoin list;
+  shed : int;
+  degraded_ns : int;
 }
 
 let passed o = o.linearizable && o.violations = [] && o.completed
 
 let pp_outcome ppf o =
-  Fmt.pf ppf "%-18s seed=%-8Ld n=%d  %4d ops, %4d committed  %s" o.scenario.Faults.Scenario.name
-    o.seed o.n o.ops o.committed
+  Fmt.pf ppf "%-18s seed=%-8Ld n=%d  %4d ops, %4d committed%s  %s"
+    o.scenario.Faults.Scenario.name o.seed o.n o.ops o.committed
+    (match o.rejoins with
+    | [] -> ""
+    | rs ->
+      Fmt.str ", %d rejoin%s (%s)" (List.length rs)
+        (if List.length rs = 1 then "" else "s")
+        (String.concat ", "
+           (List.map
+              (fun r ->
+                Printf.sprintf "host %d: %d entries in %dus" r.Mu.Smr.pid
+                  r.Mu.Smr.entries_pulled
+                  ((r.Mu.Smr.parity_at - r.Mu.Smr.restarted_at) / 1_000))
+              rs)))
     (if passed o then "ok"
      else
        String.concat ", "
@@ -49,7 +64,18 @@ let client_fiber e smr ~proc ~ops ~think ~keys ~history ~pending ~on_done =
     Hashtbl.replace pending proc (invoked, key, cmd);
     (* The client_op span labels the detached "request" span that
        [Smr.submit] opens underneath it with (proc, req, key, op), so
-       [mu_demo explain] can name the requests caught in a fail-over. *)
+       [mu_demo explain] can name the requests caught in a fail-over.
+       A shed reply (degraded leader past its queue bound) is retried
+       after a back-off under the same invocation time: the operation is
+       still one linearizability event, it just took longer to admit. *)
+    let rec attempt () =
+      let reply = Mu.Smr.submit smr payload in
+      if Mu.Smr.is_retryable reply then begin
+        Sim.Engine.sleep e 500_000;
+        attempt ()
+      end
+      else reply
+    in
     let reply =
       Sim.Engine.span_scope e
         ~args:
@@ -63,8 +89,7 @@ let client_fiber e smr ~proc ~ops ~think ~keys ~history ~pending ~on_done =
               | Apps.Kv_store.Get _ -> "get"
               | Apps.Kv_store.Delete _ -> "delete" );
           ]
-        "client_op"
-        (fun () -> Mu.Smr.submit smr payload)
+        "client_op" attempt
     in
     let responded = Sim.Engine.now e in
     Hashtbl.remove pending proc;
@@ -82,24 +107,35 @@ let client_fiber e smr ~proc ~ops ~think ~keys ~history ~pending ~on_done =
   on_done ()
 
 let run ?trace ?(provenance = false) ?(clients = 4) ?(ops_per_client = 25)
-    ?(think = 0) ?(horizon = 2_000_000_000) ~seed ~n scenario =
+    ?(think = 0) ?(horizon = 2_000_000_000) ?(durable = true) ?(queue_limit = 0)
+    ~seed ~n scenario =
   let e = Sim.Engine.create ~seed () in
   (match trace with Some tr -> Trace.Tracer.attach tr e | None -> ());
   if provenance then Sim.Engine.set_provenance e true;
   let cfg =
-    { Mu.Config.default with Mu.Config.n; log_slots = 4096; recycle_interval = 1_000_000 }
+    {
+      Mu.Config.default with
+      Mu.Config.n;
+      log_slots = 4096;
+      recycle_interval = 1_000_000;
+      durable_state = durable;
+      queue_limit;
+    }
   in
   let smr =
     Mu.Smr.create e Sim.Calibration.default cfg ~make_app:(fun _ ->
         Apps.Kv_store.smr_app ())
   in
   Mu.Smr.start smr;
-  let replicas = Mu.Smr.replicas smr in
+  (* Host lookups re-resolve through the cluster on every event: a
+     restart replaces the replica (and its host) under the same id, and
+     later faults must land on the new incarnation. *)
   Faults.Injector.install e
     ~hosts:(fun pid ->
-      if pid >= 0 && pid < Array.length replicas then
-        Some replicas.(pid).Mu.Replica.host
+      if pid >= 0 && pid < Array.length (Mu.Smr.replicas smr) then
+        Some (Mu.Smr.replica smr pid).Mu.Replica.host
       else None)
+    ~restart:(fun pid -> Mu.Smr.restart_replica smr ~id:pid)
     scenario;
   let history = ref [] in
   let pending = Hashtbl.create 8 in
@@ -114,8 +150,28 @@ let run ?trace ?(provenance = false) ?(clients = 4) ?(ops_per_client = 25)
           ~on_done:(fun () ->
             decr remaining;
             if !remaining = 0 then begin
-              (* Quiesce: let stragglers (replayers, recycler, elections
-                 after the last fault) settle before the state checks. *)
+              (* Quiesce: run past the last scheduled restart (clients
+                 often finish before a late restart fires), give any
+                 rejoin pipeline a bounded window to reach log parity,
+                 then let stragglers (replayers, recycler, elections
+                 after the last fault) settle before the state checks.
+                 Only restarts extend the run — they are the one fault
+                 whose effect (a completed rejoin) the outcome reports. *)
+              let restart_horizon =
+                List.fold_left
+                  (fun a ev ->
+                    match ev.Faults.Scenario.action with
+                    | Faults.Scenario.Restart _ -> max a ev.Faults.Scenario.at
+                    | _ -> a)
+                  0 scenario.Faults.Scenario.events
+              in
+              if Sim.Engine.now e < restart_horizon + 1_000 then
+                Sim.Engine.sleep e (restart_horizon + 1_000 - Sim.Engine.now e);
+              let budget = ref 100 in
+              while Mu.Smr.restarts_in_flight smr > 0 && !budget > 0 do
+                decr budget;
+                Sim.Engine.sleep e 1_000_000
+              done;
               Sim.Engine.sleep e 5_000_000;
               completed := true;
               Mu.Smr.stop smr;
@@ -147,6 +203,9 @@ let run ?trace ?(provenance = false) ?(clients = 4) ?(ops_per_client = 25)
           | Apps.Kv_store.Get _ | Apps.Kv_store.Delete _ -> acc)
         pending history
   in
+  (* Re-read the replica array: restarts swap entries in place, and the
+     safety checks must see the final incarnations. *)
+  let replicas = Mu.Smr.replicas smr in
   {
     seed;
     n;
@@ -157,6 +216,9 @@ let run ?trace ?(provenance = false) ?(clients = 4) ?(ops_per_client = 25)
       Array.fold_left (fun acc r -> max acc (Mu.Log.fuo r.Mu.Replica.log)) 0 replicas;
     linearizable = Linearizability.check history;
     violations = Mu.Invariants.check_all replicas;
+    rejoins = Mu.Smr.rejoins smr;
+    shed = Mu.Smr.shed_requests smr;
+    degraded_ns = Mu.Smr.degraded_total_ns smr;
   }
 
 (* --- minimized repro ----------------------------------------------------- *)

@@ -25,6 +25,10 @@ type outcome = {
   committed : int;  (** Highest FUO reached by any replica. *)
   linearizable : bool;
   violations : Mu.Invariants.violation list;
+  rejoins : Mu.Smr.rejoin list;
+      (** Completed kill→restart→rejoin pipelines (oldest first). *)
+  shed : int;  (** Requests shed by a degraded leader's queue bound. *)
+  degraded_ns : int;  (** Total quorum-lost window duration. *)
 }
 
 val passed : outcome -> bool
@@ -39,6 +43,8 @@ val run :
   ?ops_per_client:int ->
   ?think:int ->
   ?horizon:int ->
+  ?durable:bool ->
+  ?queue_limit:int ->
   seed:int64 ->
   n:int ->
   Faults.Scenario.t ->
@@ -53,7 +59,11 @@ val run :
     with or without the flag. [think] (default 0) inserts a fixed
     virtual-ns pause between a client's operations — use it to stretch a
     small (checker-friendly) history across a scenario's fault window
-    instead of piling on operations. *)
+    instead of piling on operations. [durable] (default true) backs each
+    replica's log with simulated NVM so [restart] events can recover it;
+    [queue_limit] (default 0 = unbounded) bounds the leader's incoming
+    queue — shed requests answer with {!Mu.Smr.retryable_error} and the
+    clients here back off and retry under the same invocation time. *)
 
 (** {1 Minimized repro} *)
 

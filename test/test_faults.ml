@@ -25,6 +25,7 @@ let kitchen_sink : Faults.Scenario.t =
         { at = 11_000_000; action = Faults.Scenario.Heal };
         { at = 12_000_000; action = Faults.Scenario.Perm_fail { pid = 0; forced = true } };
         { at = 13_000_000; action = Faults.Scenario.Perm_fail { pid = 0; forced = false } };
+        { at = 14_000_000; action = Faults.Scenario.Restart 2 };
       ];
   }
 
@@ -74,10 +75,65 @@ let validation_catches_bad_scenarios () =
   check "kitchen sink is valid" true
     (match Faults.Scenario.validate ~n:3 kitchen_sink with Ok () -> true | Error _ -> false)
 
+(* Stop-vs-kill-vs-restart: restart is only valid for a host the schedule
+   has already taken down (stop_process or kill_host), tracked in firing
+   order — a restart of a running host is a scenario bug, caught up
+   front rather than silently ignored at injection time. *)
+let restart_validation () =
+  let valid events =
+    match Faults.Scenario.validate ~n:3 { name = "r"; events } with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  check "restart after kill" true
+    (valid
+       [
+         { at = 1; action = Faults.Scenario.Kill_host 1 };
+         { at = 2; action = Faults.Scenario.Restart 1 };
+       ]);
+  check "restart after stop" true
+    (valid
+       [
+         { at = 1; action = Faults.Scenario.Stop_process 2 };
+         { at = 2; action = Faults.Scenario.Restart 2 };
+       ]);
+  check "down-restart cycle can repeat" true
+    (valid
+       [
+         { at = 1; action = Faults.Scenario.Kill_host 1 };
+         { at = 2; action = Faults.Scenario.Restart 1 };
+         { at = 3; action = Faults.Scenario.Stop_process 1 };
+         { at = 4; action = Faults.Scenario.Restart 1 };
+       ]);
+  check "restart of never-downed host rejected" false
+    (valid [ { at = 1; action = Faults.Scenario.Restart 0 } ]);
+  check "restart of a different host rejected" false
+    (valid
+       [
+         { at = 1; action = Faults.Scenario.Kill_host 1 };
+         { at = 2; action = Faults.Scenario.Restart 2 };
+       ]);
+  check "double restart without re-down rejected" false
+    (valid
+       [
+         { at = 1; action = Faults.Scenario.Kill_host 1 };
+         { at = 2; action = Faults.Scenario.Restart 1 };
+         { at = 3; action = Faults.Scenario.Restart 1 };
+       ]);
+  (* Firing order, not listing order: the restart scheduled before its
+     kill is rejected even when listed after it. *)
+  check "restart scheduled before the kill rejected" false
+    (valid
+       [
+         { at = 5; action = Faults.Scenario.Kill_host 1 };
+         { at = 2; action = Faults.Scenario.Restart 1 };
+       ])
+
 let named_scenarios_resolve () =
   check "crash-leader" true (Faults.Scenario.by_name ~n:3 "crash-leader" <> None);
   check "partition-leader" true (Faults.Scenario.by_name ~n:3 "partition-leader" <> None);
   check "lossy-fabric" true (Faults.Scenario.by_name ~n:5 "lossy-fabric" <> None);
+  check "kill-restart" true (Faults.Scenario.by_name ~n:3 "kill-restart" <> None);
   check "unknown" true (Faults.Scenario.by_name ~n:3 "meteor-strike" = None);
   List.iter
     (fun name ->
@@ -103,16 +159,26 @@ let generator_produces_valid_scenarios () =
           (match Faults.Scenario.validate ~n s with
           | Ok () -> ()
           | Error m -> Alcotest.fail (Printf.sprintf "seed %Ld n %d: %s" seed n m));
-          let crashes =
-            List.length
-              (List.filter
-                 (fun { Faults.Scenario.action; _ } ->
-                   match action with
-                   | Faults.Scenario.Stop_process _ | Faults.Scenario.Kill_host _ -> true
-                   | _ -> false)
-                 s.Faults.Scenario.events)
+          (* A restarted host hands its crash-budget slot back, so the
+             liveness bound is on *concurrently* down hosts, walked in
+             firing order — not on the total count of stop/kill events. *)
+          let sorted =
+            List.stable_sort
+              (fun a b -> compare a.Faults.Scenario.at b.Faults.Scenario.at)
+              s.Faults.Scenario.events
           in
-          check "crashes within minority budget" true (crashes <= (n - 1) / 2);
+          let max_down, _ =
+            List.fold_left
+              (fun (mx, down) { Faults.Scenario.action; _ } ->
+                match action with
+                | Faults.Scenario.Stop_process _ | Faults.Scenario.Kill_host _ ->
+                  (max mx (down + 1), down + 1)
+                | Faults.Scenario.Restart _ -> (mx, down - 1)
+                | _ -> (mx, down))
+              (0, 0) sorted
+          in
+          check "concurrent crashes within minority budget" true
+            (max_down <= (n - 1) / 2);
           List.iter
             (fun { Faults.Scenario.at; _ } ->
               check "event inside horizon" true (at >= 0 && at <= 40_000_000))
@@ -192,6 +258,7 @@ let suite =
     ("scenario json round-trip", `Quick, json_round_trip);
     ("scenario json rejects garbage", `Quick, json_rejects_garbage);
     ("scenario validation", `Quick, validation_catches_bad_scenarios);
+    ("restart validation (stop/kill state machine)", `Quick, restart_validation);
     ("named scenarios resolve", `Quick, named_scenarios_resolve);
     ("generator produces valid scenarios", `Quick, generator_produces_valid_scenarios);
     ("chaos run deterministic (trace bytes)", `Quick, chaos_run_is_deterministic);

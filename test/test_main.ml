@@ -20,6 +20,7 @@ let () =
       ("replayer-recycler", Test_replayer.suite);
       ("invariants", Test_invariants.suite);
       ("faults", Test_faults.suite);
+      ("recovery", Test_recovery.suite);
       ("misc", Test_misc.suite);
       ("trace", Test_trace.suite);
       ("telemetry", Test_telemetry.suite);

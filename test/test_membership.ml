@@ -91,10 +91,78 @@ let add_then_remove_leader_failover () =
       Sim.Host.resume r0.Mu.Replica.host;
       ignore e)
 
+(* §5.4 under an asymmetric partition: host 1 cannot hear host 2 (so its
+   failure detector scores 2 dead) while the leader still reaches both.
+   Remove and add still commit through the leader's quorum — membership
+   changes don't require symmetric connectivity. *)
+let membership_changes_under_asymmetric_partition () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      put smr "a" "1" 1;
+      let f = Sim.Engine.fabric e in
+      Sim.Fabric.block f ~src:2 ~dst:1;
+      Mu.Smr.remove_replica smr ~id:2;
+      let r2 = Mu.Smr.replica smr 2 in
+      Util.wait_for (fun () -> r2.Mu.Replica.removed) e;
+      put smr "b" "2" 2;
+      Alcotest.(check (option string)) "2-group serves" (Some "2") (get smr "b" 3);
+      (* Growing the cluster works under the same stale half-link. *)
+      let newcomer = Mu.Smr.add_replica smr () in
+      check_int "new id" 3 newcomer.Mu.Replica.id;
+      put smr "c" "3" 4;
+      put smr "d" "4" 5;
+      Util.wait_for (fun () -> newcomer.Mu.Replica.applied > 0) e;
+      Sim.Fabric.unblock f ~src:2 ~dst:1;
+      check "no invariant violations" true
+        (Mu.Invariants.check_all
+           (Array.of_list
+              (List.filter
+                 (fun (r : Mu.Replica.t) -> not r.Mu.Replica.removed)
+                 (Array.to_list (Mu.Smr.replicas smr))))
+        = []))
+
+(* A *removed* replica rejoining under its old id goes through the
+   re-admission path: a §5.4 Add configuration entry commits before the
+   rejoin pipeline runs, and the new incarnation is a member again. *)
+let removed_replica_rejoins_same_id () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      for i = 1 to 5 do
+        put smr (Printf.sprintf "k%d" i) "v" i
+      done;
+      Mu.Smr.remove_replica smr ~id:2;
+      let r2 = Mu.Smr.replica smr 2 in
+      Util.wait_for (fun () -> r2.Mu.Replica.removed) e;
+      put smr "while-out" "w" 6;
+      Mu.Smr.restart_replica smr ~id:2;
+      Util.wait_for (fun () -> Mu.Smr.rejoins smr <> []) e;
+      let r2' = Mu.Smr.replica smr 2 in
+      check "fresh incarnation" true (r2' != r2);
+      check "no longer removed" true (not r2'.Mu.Replica.removed);
+      check "member again on the leader" true
+        (List.exists
+           (fun (p : Mu.Replica.peer) -> p.Mu.Replica.pid = 2)
+           (Mu.Smr.replica smr 0).Mu.Replica.peers);
+      let rj = List.hd (Mu.Smr.rejoins smr) in
+      check "caught up the history decided while out" true
+        (rj.Mu.Smr.entries_pulled > 0);
+      (* It participates again: new writes reach its log (a follower's
+         FUO trails the last commit by one until the next accept, so the
+         target is a captured FUO, pushed over by one more write). *)
+      put smr "after" "rejoin" 7;
+      let l () = Option.get (Mu.Smr.serving_leader smr) in
+      let target = Mu.Log.fuo (l ()).Mu.Replica.log in
+      put smr "post" "x" 8;
+      Util.wait_for (fun () -> Mu.Log.fuo r2'.Mu.Replica.log >= target) e)
+
 let suite =
   [
     ("remove follower", `Quick, remove_follower);
     ("removed replica ignored by election", `Quick, removed_replica_ignored_by_election);
     ("add replica receives state", `Quick, add_replica_receives_state);
     ("add then remove leader failover", `Quick, add_then_remove_leader_failover);
+    ( "membership changes under asymmetric partition",
+      `Quick,
+      membership_changes_under_asymmetric_partition );
+    ("removed replica rejoins same id", `Quick, removed_replica_rejoins_same_id);
   ]

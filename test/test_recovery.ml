@@ -1,0 +1,414 @@
+(* Tests for crash recovery: simulated NVM (lib/sim/nvm), the durable
+   state layout and catch-up driver (lib/recovery), and the end-to-end
+   kill → restart → rejoin pipeline in Mu.Smr — including graceful
+   degradation of a quorum-lost leader and determinism of recovery
+   runs. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- simulated NVM ------------------------------------------------------- *)
+
+let nvm_regions_persist () =
+  let nvm = Sim.Nvm.create () in
+  check "fresh region unknown" false (Sim.Nvm.mem nvm ~owner:0 ~name:"log");
+  let r = Sim.Nvm.region nvm ~owner:0 ~name:"log" ~size:64 in
+  Bytes.set r 0 'x';
+  check "region now known" true (Sim.Nvm.mem nvm ~owner:0 ~name:"log");
+  (* Re-opening returns the same backing bytes, not a copy. *)
+  let r' = Sim.Nvm.region nvm ~owner:0 ~name:"log" ~size:64 in
+  check "same bytes on reopen" true (r == r');
+  check "write visible" true (Bytes.get r' 0 = 'x');
+  (* Same name under a different owner is a distinct region. *)
+  let other = Sim.Nvm.region nvm ~owner:1 ~name:"log" ~size:64 in
+  check "per-owner isolation" true (Bytes.get other 0 = '\000');
+  (* Size mismatch is a programming error. *)
+  (match Sim.Nvm.region nvm ~owner:0 ~name:"log" ~size:128 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "size mismatch accepted");
+  Sim.Nvm.erase nvm ~owner:0 ~name:"log";
+  check "erase forgets" false (Sim.Nvm.mem nvm ~owner:0 ~name:"log")
+
+let durable_members_roundtrip () =
+  let nvm = Sim.Nvm.create () in
+  check "no durable state yet" false (Recovery.Durable.has_durable_state nvm ~owner:3);
+  let meta = Recovery.Durable.meta_backing nvm ~owner:3 in
+  check "blank meta decodes to None" true (Recovery.Durable.read_members meta = None);
+  Recovery.Durable.write_members meta [ 2; 0; 1; 1 ];
+  check "members round-trip sorted+deduped" true
+    (Recovery.Durable.read_members meta = Some [ 0; 1; 2 ]);
+  Recovery.Durable.write_members meta [ 0; 2 ];
+  check "overwrite shrinks" true (Recovery.Durable.read_members meta = Some [ 0; 2 ]);
+  (* The log region is what [has_durable_state] keys on. *)
+  ignore (Recovery.Durable.log_backing nvm ~owner:3 ~size:256);
+  check "durable state after log creation" true
+    (Recovery.Durable.has_durable_state nvm ~owner:3)
+
+(* --- catch-up driver (pure closures) ------------------------------------- *)
+
+let catchup_reaches_parity () =
+  let fuo = ref 0 in
+  let installed = Array.make 10 false in
+  let idles = ref 0 in
+  match
+    Recovery.Catchup.run ~batch:4 ~idle_ns:10
+      ~idle:(fun _ -> incr idles)
+      ~target:(fun () -> Some 10)
+      ~fuo:(fun () -> !fuo)
+      ~pull:(fun i -> Recovery.Catchup.Entry (Bytes.make 1 (Char.chr i)))
+      ~install:(fun i _ -> installed.(i) <- true)
+      ~commit:(fun i -> fuo := i)
+      ~recheckpoint:(fun () -> ())
+      ~stopped:(fun () -> false)
+      ()
+  with
+  | Recovery.Catchup.Parity p ->
+    check_int "all entries pulled" 10 p.Recovery.Catchup.entries;
+    check "all installed" true (Array.for_all Fun.id installed);
+    check_int "local fuo at parity" 10 !fuo;
+    check_int "ceil(10/4) rounds" 3 p.Recovery.Catchup.rounds;
+    check "idled between rounds (rate bound)" true (!idles >= 3)
+  | Recovery.Catchup.Stopped _ -> Alcotest.fail "catch-up stopped unexpectedly"
+
+let catchup_recheckpoints_after_recycle () =
+  let fuo = ref 0 in
+  let recheckpoints = ref 0 in
+  match
+    Recovery.Catchup.run ~batch:4 ~idle_ns:10
+      ~idle:(fun _ -> ())
+      ~target:(fun () -> Some 10)
+      ~fuo:(fun () -> !fuo)
+      ~pull:(fun i ->
+        if i < 6 then Recovery.Catchup.Recycled
+        else Recovery.Catchup.Entry (Bytes.create 1))
+      ~install:(fun _ _ -> ())
+      ~commit:(fun i -> fuo := max !fuo i)
+        (* A recheckpoint jumps state forward past the recycled prefix,
+           as the real pipeline does with a fresh snapshot. *)
+      ~recheckpoint:(fun () ->
+        incr recheckpoints;
+        fuo := 6)
+      ~stopped:(fun () -> false)
+      ()
+  with
+  | Recovery.Catchup.Parity p ->
+    check_int "one recheckpoint" 1 !recheckpoints;
+    check_int "driver counted it" 1 p.Recovery.Catchup.recheckpoints;
+    check_int "only the live suffix pulled" 4 p.Recovery.Catchup.entries
+  | Recovery.Catchup.Stopped _ -> Alcotest.fail "catch-up stopped unexpectedly"
+
+let catchup_stops_and_waits () =
+  (* [stopped] wins immediately. *)
+  (match
+     Recovery.Catchup.run ~batch:1 ~idle_ns:1
+       ~idle:(fun _ -> ())
+       ~target:(fun () -> Some 5)
+       ~fuo:(fun () -> 0)
+       ~pull:(fun _ -> Recovery.Catchup.Entry (Bytes.create 1))
+       ~install:(fun _ _ -> ())
+       ~commit:(fun _ -> ())
+       ~recheckpoint:(fun () -> ())
+       ~stopped:(fun () -> true)
+       ()
+   with
+  | Recovery.Catchup.Stopped p -> check_int "nothing pulled" 0 p.Recovery.Catchup.entries
+  | Recovery.Catchup.Parity _ -> Alcotest.fail "ran while stopped");
+  (* Leaderless ([target () = None]) idles instead of spinning, until
+     stopped. *)
+  let idles = ref 0 in
+  match
+    Recovery.Catchup.run ~batch:1 ~idle_ns:1
+      ~idle:(fun _ -> incr idles)
+      ~target:(fun () -> None)
+      ~fuo:(fun () -> 0)
+      ~pull:(fun _ -> Recovery.Catchup.Unreachable)
+      ~install:(fun _ _ -> ())
+      ~commit:(fun _ -> ())
+      ~recheckpoint:(fun () -> ())
+      ~stopped:(fun () -> !idles >= 3)
+      ()
+  with
+  | Recovery.Catchup.Stopped _ -> check "idled while leaderless" true (!idles >= 3)
+  | Recovery.Catchup.Parity _ -> Alcotest.fail "no leader, no parity"
+
+let backpressure_bounds_queue () =
+  let bp = Recovery.Backpressure.create ~limit:2 in
+  check "enabled" true (Recovery.Backpressure.enabled bp);
+  check "below bound" true (Recovery.Backpressure.admit bp ~depth:0);
+  check "below bound" true (Recovery.Backpressure.admit bp ~depth:1);
+  check "at bound refused" false (Recovery.Backpressure.admit bp ~depth:2);
+  check "past bound refused" false (Recovery.Backpressure.admit bp ~depth:7);
+  check_int "refusals counted" 2 (Recovery.Backpressure.sheds bp);
+  let off = Recovery.Backpressure.create ~limit:0 in
+  check "limit 0 disables" true (Recovery.Backpressure.admit off ~depth:1_000_000);
+  check_int "no sheds when disabled" 0 (Recovery.Backpressure.sheds off)
+
+let degrade_window_accounting () =
+  let d = Recovery.Degrade.create () in
+  check "not active" false (Recovery.Degrade.active d);
+  check "leave without enter" true (Recovery.Degrade.leave d ~now:5 = None);
+  Recovery.Degrade.enter d ~now:10;
+  Recovery.Degrade.enter d ~now:20;
+  (* second enter is a no-op *)
+  check "active" true (Recovery.Degrade.active d);
+  check "window spans from first enter" true (Recovery.Degrade.leave d ~now:110 = Some 100);
+  Recovery.Degrade.enter d ~now:200;
+  check "second window" true (Recovery.Degrade.leave d ~now:250 = Some 50);
+  check_int "windows" 2 (Recovery.Degrade.windows d);
+  check_int "total" 150 (Recovery.Degrade.total_ns d);
+  check "last" true (Recovery.Degrade.last_ns d = Some 50)
+
+(* --- end-to-end: kill, restart, rejoin ----------------------------------- *)
+
+let durable_cfg = { Mu.Config.default with Mu.Config.durable_state = true }
+
+let with_smr ?(cfg = durable_cfg) ?(seed = 7L) f =
+  let e = Sim.Engine.create ~seed () in
+  let smr = Mu.Smr.create e Util.default_cal cfg ~make_app:(fun _ -> Apps.Kv_store.smr_app ()) in
+  Mu.Smr.start smr;
+  let result = ref None in
+  Sim.Engine.spawn e ~name:"driver" (fun () ->
+      result := Some (f e smr);
+      Mu.Smr.stop smr;
+      Sim.Engine.halt e);
+  Sim.Engine.run ~until:120_000_000_000 e;
+  match !result with Some r -> r | None -> Alcotest.fail "scenario did not finish"
+
+let put smr k v i =
+  ignore
+    (Mu.Smr.submit smr
+       (Apps.Kv_store.encode_command ~client:1 ~req_id:i
+          (Apps.Kv_store.Put { key = k; value = v })))
+
+let get smr k i =
+  match
+    Apps.Kv_store.decode_reply
+      (Mu.Smr.submit smr
+         (Apps.Kv_store.encode_command ~client:1 ~req_id:i (Apps.Kv_store.Get { key = k })))
+  with
+  | Some (Apps.Kv_store.Value v) -> Some v
+  | _ -> None
+
+(* Kill a follower under traffic, restart it, and require exact log
+   parity: the rejoined incarnation's FUO catches the leader's, with the
+   entries decided during the outage pulled from the leader's log. *)
+let follower_kill_restart_reaches_parity () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      for i = 1 to 10 do
+        put smr (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i) i
+      done;
+      let r2 = Mu.Smr.replica smr 2 in
+      Sim.Host.kill_host r2.Mu.Replica.host;
+      check "host dead" false (Sim.Host.process_alive r2.Mu.Replica.host);
+      (* The cluster keeps committing on the surviving majority. *)
+      for i = 11 to 30 do
+        put smr (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i) i
+      done;
+      Mu.Smr.restart_replica smr ~id:2;
+      Util.wait_for (fun () -> Mu.Smr.rejoins smr <> []) e;
+      let r2' = Mu.Smr.replica smr 2 in
+      check "fresh incarnation installed" true (r2' != r2);
+      check "new host running" true (Sim.Host.process_alive r2'.Mu.Replica.host);
+      let rj = List.hd (Mu.Smr.rejoins smr) in
+      check_int "rejoin is for host 2" 2 rj.Mu.Smr.pid;
+      check "entries pulled from the leader" true (rj.Mu.Smr.entries_pulled > 0);
+      check "time to parity measured" true (rj.Mu.Smr.parity_at > rj.Mu.Smr.restarted_at);
+      (* New writes confirm it back into the quorum. A follower's FUO
+         trails the leader's last commit by one until the next accept
+         proves it decided (commit piggybacking), so the convergence
+         target is a FUO captured *after* a committed write, not the
+         leader's moving FUO: the next write pushes the rejoined
+         follower to (and past) it. *)
+      put smr "after" "rejoin" 31;
+      let l () = Option.get (Mu.Smr.serving_leader smr) in
+      let target = Mu.Log.fuo (l ()).Mu.Replica.log in
+      put smr "post" "x" 32;
+      Util.wait_for (fun () -> List.mem 2 (l ()).Mu.Replica.confirmed) e;
+      Util.wait_for (fun () -> Mu.Log.fuo r2'.Mu.Replica.log >= target) e;
+      Util.wait_for (fun () -> r2'.Mu.Replica.applied >= target) e;
+      check "no invariant violations" true
+        (Mu.Invariants.check_all (Mu.Smr.replicas smr) = []))
+
+(* Kill the leader: after fail-over the cluster commits under the next
+   leader; the restarted lowest id catches up and — per §5.1's
+   lowest-alive-id rule — takes leadership back. *)
+let leader_kill_restart_fails_back () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      for i = 1 to 5 do
+        put smr (Printf.sprintf "a%d" i) "x" i
+      done;
+      let r0 = Mu.Smr.replica smr 0 in
+      Sim.Host.kill_host r0.Mu.Replica.host;
+      (* These block across the fail-over and commit under leader 1. *)
+      for i = 6 to 15 do
+        put smr (Printf.sprintf "b%d" i) "y" i
+      done;
+      Mu.Smr.restart_replica smr ~id:0;
+      Util.wait_for (fun () -> Mu.Smr.rejoins smr <> []) e;
+      Util.wait_for
+        (fun () ->
+          match Mu.Smr.serving_leader smr with
+          | Some l -> l.Mu.Replica.id = 0
+          | None -> false)
+        e;
+      put smr "final" "v" 16;
+      Alcotest.(check (option string)) "state served by failed-back leader" (Some "v")
+        (get smr "final" 17);
+      let r0' = Mu.Smr.replica smr 0 in
+      check "restarted lowest id leads again" true (Mu.Replica.is_leader r0');
+      check "no invariant violations" true
+        (Mu.Invariants.check_all (Mu.Smr.replicas smr) = []))
+
+(* Restarting a replica whose process was stopped (not killed) recovers
+   the same way — stop-vs-kill differ in how state survives, not in
+   whether rejoin works. *)
+let stopped_process_restarts () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      for i = 1 to 8 do
+        put smr (Printf.sprintf "s%d" i) "v" i
+      done;
+      let r1 = Mu.Smr.replica smr 1 in
+      Sim.Host.stop_process r1.Mu.Replica.host;
+      for i = 9 to 16 do
+        put smr (Printf.sprintf "s%d" i) "v" i
+      done;
+      Mu.Smr.restart_replica smr ~id:1;
+      Util.wait_for (fun () -> Mu.Smr.rejoins smr <> []) e;
+      let r1' = Mu.Smr.replica smr 1 in
+      put smr "post" "stop" 17;
+      let l () = Option.get (Mu.Smr.serving_leader smr) in
+      let target = Mu.Log.fuo (l ()).Mu.Replica.log in
+      put smr "post2" "stop" 18;
+      Util.wait_for (fun () -> List.mem 1 (l ()).Mu.Replica.confirmed) e;
+      Util.wait_for (fun () -> Mu.Log.fuo r1'.Mu.Replica.log >= target) e)
+
+(* Restarting a replica that is still running must be a no-op: no second
+   incarnation, no rejoin record. *)
+let restart_of_running_replica_is_noop () =
+  with_smr (fun e smr ->
+      Mu.Smr.wait_live smr;
+      put smr "a" "1" 1;
+      let r2 = Mu.Smr.replica smr 2 in
+      Mu.Smr.restart_replica smr ~id:2;
+      Sim.Engine.sleep e 5_000_000;
+      check "same incarnation" true (Mu.Smr.replica smr 2 == r2);
+      check "no rejoin recorded" true (Mu.Smr.rejoins smr = []);
+      check_int "nothing in flight" 0 (Mu.Smr.restarts_in_flight smr);
+      match Mu.Smr.restart_replica smr ~id:99 with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "unknown id accepted")
+
+(* Quorum loss: with both followers dead the leader parks requests;
+   past the queue bound it sheds with a retryable error; when one
+   follower rejoins, the degraded window closes and the parked requests
+   commit. *)
+let quorum_loss_sheds_then_resumes () =
+  let cfg = { durable_cfg with Mu.Config.queue_limit = 4 } in
+  with_smr ~cfg (fun e smr ->
+      Mu.Smr.wait_live smr;
+      put smr "pre" "1" 1;
+      let r1 = Mu.Smr.replica smr 1 and r2 = Mu.Smr.replica smr 2 in
+      Sim.Host.kill_host r1.Mu.Replica.host;
+      Sim.Host.kill_host r2.Mu.Replica.host;
+      (* Submit a burst without yielding: the first [queue_limit] park at
+         the (soon-to-be) degraded leader, the rest shed immediately. *)
+      let mk i =
+        Apps.Kv_store.encode_command ~client:9 ~req_id:i
+          (Apps.Kv_store.Put { key = "q"; value = string_of_int i })
+      in
+      let ivs = List.init 12 (fun i -> Mu.Smr.submit_async ~retry:false smr (mk i)) in
+      let shed_now, parked =
+        List.partition (fun iv -> Sim.Engine.Ivar.is_filled iv) ivs
+      in
+      (* 12 submitted: the first hands off directly to the service fiber
+         parked in Chan.recv (it never occupies the queue), 4 park at the
+         bound, the remaining 7 shed. *)
+      check_int "burst minus bound shed" 7 (List.length shed_now);
+      check_int "sheds counted" 7 (Mu.Smr.shed_requests smr);
+      List.iter
+        (fun iv ->
+          match Sim.Engine.Ivar.peek iv with
+          | Some b -> check "shed reply is retryable" true (Mu.Smr.is_retryable b)
+          | None -> Alcotest.fail "shed ivar empty")
+        shed_now;
+      (* The leader notices the lost quorum (first aborted propose) and
+         opens a degraded window; nothing commits meanwhile. *)
+      let committed_before = Mu.Log.fuo (Mu.Smr.replica smr 0).Mu.Replica.log in
+      Sim.Engine.sleep e 30_000_000;
+      check "no parked request answered while degraded" true
+        (List.for_all (fun iv -> not (Sim.Engine.Ivar.is_filled iv)) parked);
+      check_int "nothing committed while degraded"
+        committed_before
+        (Mu.Log.fuo (Mu.Smr.replica smr 0).Mu.Replica.log);
+      (* One follower rejoins: quorum is back, the window closes, parked
+         requests commit. *)
+      Mu.Smr.restart_replica smr ~id:1;
+      Util.wait_for (fun () -> Mu.Smr.rejoins smr <> []) e;
+      Util.wait_for
+        (fun () -> List.for_all (fun iv -> Sim.Engine.Ivar.is_filled iv) parked)
+        e;
+      check "degraded window recorded" true (Mu.Smr.degraded_windows smr >= 1);
+      check "degraded time accrued" true (Mu.Smr.degraded_total_ns smr > 0);
+      Util.wait_for (fun () -> get smr "q" 100 <> None) e;
+      check "resumed cluster serves writes" true
+        (match get smr "resumed" 101 with None -> true | Some _ -> false);
+      put smr "resumed" "yes" 102;
+      Alcotest.(check (option string)) "resumed" (Some "yes") (get smr "resumed" 103))
+
+(* --- determinism --------------------------------------------------------- *)
+
+(* Same seed + kill-restart scenario ⇒ byte-identical traces, rejoin
+   included; and with no restart in the run, durable state on vs off is
+   invisible (identical bytes) — recovery support costs nothing until
+   used. *)
+let recovery_runs_are_deterministic () =
+  let scenario = Option.get (Faults.Scenario.by_name ~n:3 "kill-restart") in
+  let run seed =
+    let tr = Trace.Tracer.create ~capacity:(1 lsl 18) () in
+    let o =
+      Workload.Chaos.run ~trace:tr ~ops_per_client:60 ~think:100_000 ~seed ~n:3 scenario
+    in
+    (Trace.Tracer.chrome_string tr, o)
+  in
+  let t1, o1 = run 7L in
+  let t2, o2 = run 7L in
+  Alcotest.(check string) "same seed, identical trace bytes" t1 t2;
+  check "run passed" true (Workload.Chaos.passed o1);
+  check "rejoin happened" true (o1.Workload.Chaos.rejoins <> []);
+  check_int "same rejoins" (List.length o1.Workload.Chaos.rejoins)
+    (List.length o2.Workload.Chaos.rejoins);
+  check "entries pulled during rejoin" true
+    (List.exists (fun r -> r.Mu.Smr.entries_pulled > 0) o1.Workload.Chaos.rejoins);
+  let t3, _ = run 8L in
+  check "different seed diverges" true (t1 <> t3)
+
+let durable_off_run_is_unchanged () =
+  let scenario = Option.get (Faults.Scenario.by_name ~n:3 "crash-leader") in
+  let run durable =
+    let tr = Trace.Tracer.create ~capacity:(1 lsl 18) () in
+    ignore (Workload.Chaos.run ~trace:tr ~durable ~seed:7L ~n:3 scenario);
+    Trace.Tracer.chrome_string tr
+  in
+  Alcotest.(check string) "durable backing invisible without restarts" (run false)
+    (run true)
+
+let suite =
+  [
+    ("nvm regions persist", `Quick, nvm_regions_persist);
+    ("durable members round-trip", `Quick, durable_members_roundtrip);
+    ("catch-up reaches parity", `Quick, catchup_reaches_parity);
+    ("catch-up recheckpoints after recycle", `Quick, catchup_recheckpoints_after_recycle);
+    ("catch-up stops and waits", `Quick, catchup_stops_and_waits);
+    ("backpressure bounds the queue", `Quick, backpressure_bounds_queue);
+    ("degraded-window accounting", `Quick, degrade_window_accounting);
+    ("follower kill-restart reaches parity", `Quick, follower_kill_restart_reaches_parity);
+    ("leader kill-restart fails back", `Quick, leader_kill_restart_fails_back);
+    ("stopped process restarts", `Quick, stopped_process_restarts);
+    ("restart of running replica is a no-op", `Quick, restart_of_running_replica_is_noop);
+    ("quorum loss sheds then resumes", `Quick, quorum_loss_sheds_then_resumes);
+    ("recovery runs deterministic", `Quick, recovery_runs_are_deterministic);
+    ("durable off is unchanged", `Quick, durable_off_run_is_unchanged);
+  ]

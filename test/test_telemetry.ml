@@ -255,6 +255,33 @@ let e2e_failover_instrumented () =
   let dash = T.Dashboard.render ~sampler:smp reg in
   check "dashboard has sections" true (String.length dash > 0 && dash <> "(no telemetry recorded)\n")
 
+(* The crash-recovery dashboard section renders the rejoin instruments
+   (parity latency + catch-up entries per replica, shed and degraded
+   totals) and stays silent when no recovery ran. *)
+let dashboard_recovery_section () =
+  let reg = T.Registry.create () in
+  check "silent without recovery metrics" true (T.Dashboard.recovery_summary reg = "");
+  let labels = [ ("replica", "2") ] in
+  let tel = Mu.Telem.create reg ~id:2 in
+  Mu.Telem.rejoin_parity_ns tel 24_000;
+  Mu.Telem.catch_up tel 17;
+  Mu.Telem.shed tel;
+  Mu.Telem.shed tel;
+  Mu.Telem.degraded_ns tel 400_000;
+  let s = T.Dashboard.recovery_summary reg in
+  let has sub = Util.contains_substring s sub in
+  check "rejoin row" true (has "replica=2");
+  check "entries pulled" true (has "17");
+  check "shed total" true (has "shed requests: 2");
+  check "degraded windows" true (has "degraded windows: 1");
+  (match T.Registry.find reg ~labels "mu_rejoin_time_to_parity_ns" with
+  | Some { T.Registry.kind = T.Registry.Histogram h; _ } ->
+    check_int "one rejoin recorded" 1 (T.Hdr.count h)
+  | _ -> Alcotest.fail "mu_rejoin_time_to_parity_ns not registered");
+  let dash = T.Dashboard.render reg in
+  check "render includes crash recovery section" true
+    (Util.contains_substring dash "crash recovery")
+
 let e2e_export_deterministic () =
   let dump seed =
     let setup, smp = metrics_setup seed 20_000 in
@@ -278,5 +305,6 @@ let suite =
     ("export prometheus shape", `Quick, export_prometheus_shape);
     ("e2e replication instrumented", `Quick, e2e_replication_instrumented);
     ("e2e failover instrumented", `Quick, e2e_failover_instrumented);
+    ("dashboard recovery section", `Quick, dashboard_recovery_section);
     ("e2e export deterministic", `Quick, e2e_export_deterministic);
   ]

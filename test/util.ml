@@ -55,6 +55,11 @@ let wait_for pred e =
   done;
   if not (pred ()) then Alcotest.fail "wait_for: condition not reached in 5 sim-seconds"
 
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let leader_of smr e =
   wait_for
     (fun () -> match Mu.Smr.leader smr with Some _ -> true | None -> false)
