@@ -479,6 +479,98 @@ let recovery () =
   Fmt.pr "  check: rejoin reached parity, run linearizable + invariant-clean: %s@."
     (if Workload.Chaos.passed o && o.Workload.Chaos.rejoins <> [] then "OK" else "FAIL")
 
+(* --- Serving tier -------------------------------------------------------- *)
+
+let serving_points : Serving.Surface.point list ref = ref []
+
+let serving () =
+  section "serving" "serving tier: shard-count x batch-size surface (§8 x §7.4)";
+  Fmt.pr
+    "  An open-loop client population (Zipf keys, Poisson arrivals) drives the@.\
+    \  sharded cluster through the serving tier; batch > 1 engages the leader@.\
+    \  doorbell (one RDMA write per group of log slots). Fig. 7 extended along@.\
+    \  the §8 parallel-instances axis:@.";
+  let s = setup () in
+  let shard_counts = if !quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let batches = if !quick then [ 1; 8 ] else [ 1; 4; 16 ] in
+  let clients = if !quick then 200_000 else 400_000 in
+  let think_ns = 10_000_000 in
+  let duration = if !quick then 1_000_000 else 3_000_000 in
+  Fmt.pr "  (%d modeled clients, %.0f us think time, %d us per cell)@." clients
+    (us think_ns) (duration / 1000);
+  let points = Serving.Surface.sweep s ~shard_counts ~batches ~clients ~think_ns ~duration in
+  serving_points := points;
+  Fmt.pr "  %6s %5s %8s %11s %13s %7s %9s %9s@." "shards" "batch" "doorbell" "offered/us"
+    "committed/us" "shed" "p50 (us)" "p99 (us)";
+  List.iter
+    (fun (p : Serving.Surface.point) ->
+      csv_row "serving.csv"
+        (Printf.sprintf "%d,%d,%d,%.3f,%.3f,%d,%d,%.3f,%.3f" p.Serving.Surface.shards
+           p.Serving.Surface.batch p.Serving.Surface.doorbell p.Serving.Surface.offered_per_us
+           p.Serving.Surface.committed_per_us p.Serving.Surface.shed
+           p.Serving.Surface.suppressed
+           (us p.Serving.Surface.p50_ns)
+           (us p.Serving.Surface.p99_ns));
+      Fmt.pr "  %6d %5d %8d %11.2f %13.2f %7d %9.2f %9.2f@." p.Serving.Surface.shards
+        p.Serving.Surface.batch p.Serving.Surface.doorbell p.Serving.Surface.offered_per_us
+        p.Serving.Surface.committed_per_us p.Serving.Surface.shed
+        (us p.Serving.Surface.p50_ns)
+        (us p.Serving.Surface.p99_ns))
+    points;
+  csv_flush "serving.csv"
+    ~header:"shards,batch,doorbell,offered_per_us,committed_per_us,shed,suppressed,p50_us,p99_us";
+  (* Acceptance: at every shard count, the largest batch (doorbell on)
+     must commit more requests per us than unbatched replication. *)
+  let max_batch = List.fold_left max 1 batches in
+  let cell sc b =
+    List.find_opt
+      (fun (p : Serving.Surface.point) ->
+        p.Serving.Surface.shards = sc && p.Serving.Surface.batch = b)
+      points
+  in
+  let ok =
+    List.for_all
+      (fun sc ->
+        match (cell sc 1, cell sc max_batch) with
+        | Some p1, Some pk ->
+          pk.Serving.Surface.committed_per_us > p1.Serving.Surface.committed_per_us
+        | _ -> false)
+      shard_counts
+  in
+  record_check "serving_batching_beats_unbatched" ok
+    (Printf.sprintf "batch %d out-commits batch 1 at shard counts %s" max_batch
+       (String.concat "," (List.map string_of_int shard_counts)));
+  Fmt.pr "  check: batch %d beats batch 1 at every shard count: %s@." max_batch
+    (if ok then "OK" else "FAIL")
+
+(* --- Engine event-rate microbench ---------------------------------------- *)
+
+let engine_events_per_sec : float option ref = ref None
+
+let engine_speed () =
+  section "engine-speed" "wall-clock event throughput of the simulation core";
+  Fmt.pr
+    "  How many discrete events the DES core retires per wall-clock second@.\
+    \  (sleep-wakeup pairs across concurrent fibers; no RDMA, no protocol).@.";
+  let fibers = 64 in
+  let per_fiber = if !quick then 2_000 else 20_000 in
+  let e = Sim.Engine.create ~seed:1L () in
+  for i = 1 to fibers do
+    Sim.Engine.spawn e ~name:(Printf.sprintf "spin%d" i) (fun () ->
+        for _ = 1 to per_fiber do
+          Sim.Engine.sleep e 100
+        done)
+  done;
+  let t0 = Unix.gettimeofday () in
+  Sim.Engine.run e;
+  let dt = Unix.gettimeofday () -. t0 in
+  let events = fibers * per_fiber in
+  let rate = if dt > 0.0 then float_of_int events /. dt else 0.0 in
+  engine_events_per_sec := Some rate;
+  Fmt.pr "  %d fibers x %d events: %.2e events/s (%.0f ns/event wall)@." fibers per_fiber
+    rate
+    (if rate > 0.0 then 1e9 /. rate else 0.0)
+
 (* --- Bechamel microbenchmarks ------------------------------------------- *)
 
 let bechamel_suite () =
@@ -558,6 +650,8 @@ let () =
     || List.exists (fun id -> String.length id >= 8 && String.sub id 0 8 = "ablation") !only
   then ablations ();
   if want "recovery" then recovery ();
+  if want "serving" then serving ();
+  if want "engine-speed" then engine_speed ();
   if want "bechamel" then bechamel_suite ();
   csv_flush "fig3.csv" ~header:"configuration,median_us,p1_us,p99_us";
   csv_flush "fig4.csv" ~header:"system,median_us,p1_us,p99_us";
@@ -646,6 +740,29 @@ let () =
           "{\"passed\":%b,\"rejoins\":[%s],\"shed\":%d,\"degraded_ns\":%d}"
           (Workload.Chaos.passed o) rejoins o.Workload.Chaos.shed
           o.Workload.Chaos.degraded_ns)
+   | None -> Buffer.add_string b "null");
+   Buffer.add_string b ",\"serving\":";
+   (match !serving_points with
+   | [] -> Buffer.add_string b "null"
+   | points ->
+     let cells =
+       String.concat ","
+         (List.map
+            (fun (p : Serving.Surface.point) ->
+              Printf.sprintf
+                "{\"shards\":%d,\"batch\":%d,\"doorbell\":%d,\"offered_per_us\":%.3f,\
+                 \"committed_per_us\":%.3f,\"shed\":%d,\"suppressed\":%d,\"p50_ns\":%d,\
+                 \"p99_ns\":%d}"
+                p.Serving.Surface.shards p.Serving.Surface.batch p.Serving.Surface.doorbell
+                p.Serving.Surface.offered_per_us p.Serving.Surface.committed_per_us
+                p.Serving.Surface.shed p.Serving.Surface.suppressed p.Serving.Surface.p50_ns
+                p.Serving.Surface.p99_ns)
+            points)
+     in
+     Buffer.add_string b (Printf.sprintf "{\"surface\":[%s]}" cells));
+   Buffer.add_string b ",\"engine_events_per_sec\":";
+   (match !engine_events_per_sec with
+   | Some r -> Buffer.add_string b (Printf.sprintf "%.0f" r)
    | None -> Buffer.add_string b "null");
    Buffer.add_string b ",\"checks\":[";
    List.iteri

@@ -706,6 +706,83 @@ let explain_cmd =
       const run $ setup_logs $ seed_arg $ samples_arg 2_000 $ payload $ top_arg
       $ chaos_arg $ n_arg $ ops_arg $ json_arg $ perfetto_arg)
 
+(* --- serve ------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run seed shards clients think duration batch doorbell metrics_file interval =
+    let sampler = make_sampler metrics_file interval in
+    let setup = setup_of ?metrics:sampler seed in
+    let r =
+      Serving.Surface.run_point setup ~shards ~batch ?doorbell ~clients ~think_ns:think
+        ~duration ()
+    in
+    Fmt.pr "%d shard(s), %d modeled clients, %.0f us think, %d us run@." shards clients
+      (Sim.Stats.ns_to_us think) (duration / 1000);
+    Fmt.pr "offered %d (%.2f req/us)  completed %d (%.2f req/us)  shed %d  retried %d@."
+      r.Serving.Tier.offered r.Serving.Tier.offered_per_us r.Serving.Tier.completed
+      r.Serving.Tier.committed_per_us r.Serving.Tier.shed r.Serving.Tier.retried;
+    Fmt.pr "latency p50 %.2f us  p99 %.2f us  suppressed arrivals %d@."
+      (Sim.Stats.ns_to_us r.Serving.Tier.p50_ns)
+      (Sim.Stats.ns_to_us r.Serving.Tier.p99_ns)
+      r.Serving.Tier.suppressed;
+    List.iter
+      (fun (sr : Serving.Tier.shard_report) ->
+        Fmt.pr
+          "  shard %d: submitted %6d  committed %6d  shed %6d  retried %4d  \
+           max-inflight %4d  p50 %6.2f us  p99 %6.2f us@."
+          sr.Serving.Tier.shard sr.Serving.Tier.submitted sr.Serving.Tier.committed
+          sr.Serving.Tier.shed sr.Serving.Tier.retried sr.Serving.Tier.max_inflight
+          (Sim.Stats.ns_to_us sr.Serving.Tier.p50_ns)
+          (Sim.Stats.ns_to_us sr.Serving.Tier.p99_ns))
+      r.Serving.Tier.per_shard;
+    (match sampler with
+    | Some smp ->
+      Fmt.pr "@.%s" (Telemetry.Dashboard.render ~sampler:smp (Telemetry.Sampler.registry smp))
+    | None -> ());
+    export_metrics sampler metrics_file
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Parallel Mu instances (§8).")
+  in
+  let clients =
+    Arg.(
+      value
+      & opt int 200_000
+      & info [ "clients" ] ~docv:"N" ~doc:"Modeled open-loop client population size.")
+  in
+  let think =
+    Arg.(
+      value
+      & opt int 10_000_000
+      & info [ "think" ] ~docv:"NS" ~doc:"Mean per-client think time between requests.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "duration" ] ~docv:"NS" ~doc:"Virtual time to pace arrivals for.")
+  in
+  let batch =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N" ~doc:"Requests coalesced per entry.")
+  in
+  let doorbell =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "doorbell" ] ~docv:"N"
+          ~doc:
+            "Log slots per doorbell-batched RDMA write (default: 4 when batch > 1, else \
+             1).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive a sharded Mu cluster through the serving tier: open-loop Zipf/Poisson \
+          client population, per-shard admission control, leader doorbell batching.")
+    Term.(
+      const (fun () -> run) $ setup_logs $ seed_arg $ shards $ clients $ think $ duration
+      $ batch $ doorbell $ metrics_arg $ metrics_interval_arg)
+
 (* --- report ------------------------------------------------------------------ *)
 
 let report_cmd =
@@ -750,4 +827,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "mu_demo" ~doc)
           [ latency_cmd; compare_cmd; failover_cmd; throughput_cmd; detectors_cmd;
-            metrics_cmd; chaos_cmd; explain_cmd; report_cmd ]))
+            metrics_cmd; chaos_cmd; explain_cmd; serve_cmd; report_cmd ]))

@@ -20,6 +20,8 @@ type t = {
   queue_limit : int;
   rejoin_batch : int;
   rejoin_idle : int;
+  doorbell : int;
+  durable_ns : int;
 }
 
 let default =
@@ -43,6 +45,8 @@ let default =
     queue_limit = 0;
     rejoin_batch = 64;
     rejoin_idle = 20_000;
+    doorbell = 1;
+    durable_ns = 0;
   }
 
 let majority t = (t.n / 2) + 1
@@ -55,4 +59,8 @@ let validate t =
   if t.max_outstanding < 1 then invalid_arg "Config: max_outstanding must be >= 1";
   if t.queue_limit < 0 then invalid_arg "Config: queue_limit must be >= 0";
   if t.rejoin_batch < 1 then invalid_arg "Config: rejoin_batch must be >= 1";
-  if t.rejoin_idle < 0 then invalid_arg "Config: rejoin_idle must be >= 0"
+  if t.rejoin_idle < 0 then invalid_arg "Config: rejoin_idle must be >= 0";
+  if t.doorbell < 1 then invalid_arg "Config: doorbell must be >= 1";
+  if t.doorbell > 1 && t.doorbell > t.log_slots - (2 * t.recycle_slack) then
+    invalid_arg "Config: doorbell group cannot exceed usable log window";
+  if t.durable_ns < 0 then invalid_arg "Config: durable_ns must be >= 0"

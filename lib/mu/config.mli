@@ -60,6 +60,20 @@ type t = {
   rejoin_idle : int;
       (** Ns a rejoining replica idles between catch-up rounds, bounding
           the read pressure it puts on the leader's NIC. *)
+  doorbell : int;
+      (** Log slots the leader may coalesce into a single doorbell-style
+          RDMA write per peer: up to this many already-queued entries are
+          gathered, written locally, and replicated with one wire write
+          covering the contiguous slot range, amortizing per-write NIC
+          cost and committing the whole group at once (Rabia-style
+          batching over the §7.4 pipeline). [1] (the default) disables
+          doorbell batching and keeps the classic one-write-per-slot
+          paths byte-identical. *)
+  durable_ns : int;
+      (** Durable-state namespace: disambiguates the {!Sim.Nvm} regions
+          of multiple Mu clusters sharing one engine (each
+          {!Sharded} group gets its shard index), so replica 0 of shard
+          1 never opens replica 0 of shard 0's durable log. *)
 }
 
 val default : t

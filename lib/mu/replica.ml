@@ -64,6 +64,11 @@ let bg_size ~n:_ = 16 + (16 * max_replicas)
 let engine t = Sim.Host.engine t.host
 let cal t = Sim.Host.calibration t.host
 
+(* NVM regions are keyed by owner id; with several clusters on one
+   engine (§8 sharding) the replica id alone would collide, so the
+   config's durable namespace is folded into the owner. *)
+let durable_owner config ~id = (config.Config.durable_ns * max_replicas) + id
+
 let create_unwired eng calib config ~id =
   Config.validate config;
   let host = Sim.Host.create eng calib ~id ~name:(Printf.sprintf "replica%d" id) in
@@ -77,7 +82,9 @@ let create_unwired eng calib config ~id =
      pre-crash log already in place. *)
   let log_backing =
     if config.Config.durable_state then
-      Some (Recovery.Durable.log_backing (Sim.Engine.nvm eng) ~owner:id ~size:log_size)
+      Some
+        (Recovery.Durable.log_backing (Sim.Engine.nvm eng)
+           ~owner:(durable_owner config ~id) ~size:log_size)
     else None
   in
   let log_mr =
@@ -132,7 +139,11 @@ let already_wired a b = List.exists (fun p -> p.pid = b.id) a.peers
    writes — no virtual time, no randomness. *)
 let persist_members t =
   if t.config.Config.durable_state then begin
-    let meta = Recovery.Durable.meta_backing (Sim.Engine.nvm (engine t)) ~owner:t.id in
+    let meta =
+      Recovery.Durable.meta_backing
+        (Sim.Engine.nvm (engine t))
+        ~owner:(durable_owner t.config ~id:t.id)
+    in
     Recovery.Durable.write_members meta (t.id :: List.map (fun p -> p.pid) t.peers)
   end
 

@@ -412,6 +412,37 @@ let post_accept t ~tag ~idx ~img =
             ~dst_off:(Log.slot_offset log idx)))
     (confirmed_peers t)
 
+(* Doorbell-batched accept: one RDMA write per confirmed follower covers
+   [List.length imgs] physically contiguous slots starting at [idx]. The
+   caller guarantees the range does not cross the circular-log wrap
+   boundary, so slot images concatenate (at slot stride) into a single
+   wire buffer; slots before the last are padded to the full stride,
+   which matches a freshly zeroed slot tail. The persistence-domain
+   flush, like the NIC doorbell, is paid once for the whole group — the
+   amortization that makes batching a throughput lever. *)
+let post_accept_range t ~tag ~idx ~imgs =
+  match imgs with
+  | [] -> ()
+  | [ img ] -> post_accept t ~tag ~idx ~img
+  | imgs ->
+    check_own_permission t;
+    let log = t.Replica.log in
+    if t.Replica.config.Config.persistent_log then
+      Sim.Host.cpu t.Replica.host (Replica.cal t).Sim.Calibration.pmem_flush;
+    List.iteri (fun i img -> Log.write_slot_raw_local log (idx + i) img) imgs;
+    let stride = Log.slot_size log in
+    let k = List.length imgs in
+    let last = List.nth imgs (k - 1) in
+    let buf = Bytes.make (((k - 1) * stride) + Bytes.length last) '\000' in
+    List.iteri (fun i img -> Bytes.blit img 0 buf (i * stride) (Bytes.length img)) imgs;
+    List.iter
+      (fun p ->
+        post_tracked t p ~tag ~post:(fun wr_id ->
+            Rdma.Qp.post_write p.Replica.repl_qp ~wr_id ~src:buf ~src_off:0
+              ~len:(Bytes.length buf) ~mr:p.Replica.remote_log_mr
+              ~dst_off:(Log.slot_offset log idx)))
+      (confirmed_peers t)
+
 let accept_phase t ~prop_num ~value ~idx =
   tspan t "accept" @@ fun () ->  t.Replica.metrics.Metrics.accept_rounds <- t.Replica.metrics.Metrics.accept_rounds + 1;
   let img = Log.encode_slot t.Replica.log ~proposal:prop_num ~value in

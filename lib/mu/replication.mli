@@ -58,6 +58,15 @@ val post_accept : Replica.t -> tag:int -> idx:int -> img:Bytes.t -> unit
 (** Write the entry image locally and post one RDMA Write per confirmed
     follower for slot [idx], tagging completions with [tag]. *)
 
+val post_accept_range : Replica.t -> tag:int -> idx:int -> imgs:Bytes.t list -> unit
+(** Doorbell-batched accept: write [imgs] into the contiguous slot range
+    starting at [idx] locally, then post {e one} RDMA Write per confirmed
+    follower covering the whole range (slot images concatenated at slot
+    stride), tagging each peer's single completion with [tag]. The range
+    must not cross the circular-log wrap boundary — callers cap group
+    size at [Log.slots - (idx mod Log.slots)]. With [persistent_log], the
+    flush cost is paid once for the group. *)
+
 val remote_majority : Replica.t -> int
 (** Number of remote completions that constitute a majority with self. *)
 

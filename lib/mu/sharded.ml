@@ -5,6 +5,9 @@ let create engine cal config ~shards ~make_app =
   {
     groups =
       Array.init shards (fun shard ->
+          (* Each group gets its own durable namespace so shards sharing
+             one engine never open each other's NVM-backed logs. *)
+          let config = { config with Config.durable_ns = shard } in
           Smr.create engine cal config ~make_app:(fun replica -> make_app ~shard ~replica));
   }
 
@@ -13,12 +16,17 @@ let stop t = Array.iter Smr.stop t.groups
 let shards t = Array.length t.groups
 let shard t i = t.groups.(i)
 
-let shard_of_key t key =
-  (* Stable string hash; independent of OCaml's randomized hashing. *)
+(* Stable string hash; independent of OCaml's randomized hashing. *)
+let key_hash key =
   let h = ref 5381 in
   String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) key;
-  !h mod Array.length t.groups
+  !h
 
-let submit_async t ~key payload = Smr.submit_async t.groups.(shard_of_key t key) payload
+let shard_of_key t key = key_hash key mod Array.length t.groups
+
+let submit_async ?retry t ~key payload =
+  Smr.submit_async ?retry t.groups.(shard_of_key t key) payload
+
 let submit t ~key payload = Smr.submit t.groups.(shard_of_key t key) payload
 let wait_live t = Array.iter Smr.wait_live t.groups
+let queue_depth t i = Smr.queue_depth t.groups.(i)

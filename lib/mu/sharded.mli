@@ -30,13 +30,22 @@ val shards : t -> int
 val shard : t -> int -> Smr.t
 (** Direct access to one group. *)
 
+val key_hash : string -> int
+(** The stable (djb2, 30-bit) key hash behind {!shard_of_key} — exposed
+    so external routers can agree with the shard mapping by
+    construction. *)
+
 val shard_of_key : t -> string -> int
-(** The routing function (stable hash of the key). *)
+(** The routing function ([key_hash key mod shards]). *)
 
 val submit : t -> key:string -> bytes -> bytes
 (** Route by key and block for the response (fiber context). *)
 
-val submit_async : t -> key:string -> bytes -> bytes Sim.Engine.Ivar.ivar
+val submit_async : ?retry:bool -> t -> key:string -> bytes -> bytes Sim.Engine.Ivar.ivar
+(** Route by key; [retry] as in {!Smr.submit_async}. *)
 
 val wait_live : t -> unit
 (** Block until every shard has an established leader. *)
+
+val queue_depth : t -> int -> int
+(** {!Smr.queue_depth} of shard [i]. *)

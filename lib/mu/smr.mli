@@ -141,6 +141,10 @@ val restarts_in_flight : t -> int
 val shed_requests : t -> int
 (** Requests refused with {!retryable_error} by the queue bound. *)
 
+val queue_depth : t -> int
+(** Client requests currently parked in the incoming queue (submitted
+    but not yet picked up by the leader service). *)
+
 val degraded_windows : t -> int
 val degraded_total_ns : t -> int
 (** Count and total duration of completed quorum-lost windows in which a

@@ -17,6 +17,7 @@ type t = {
   catch_up_entries : Telemetry.Registry.counter;
   shed_requests : Telemetry.Registry.counter;
   degraded : Telemetry.Hdr.t;
+  batch_occupancy : Telemetry.Hdr.t;
   (* mu_score gauges are per (replica, peer); peers are discovered as
      the failure detector first reads them. *)
   score_gauges : (int, Telemetry.Registry.gauge) Hashtbl.t;
@@ -67,6 +68,10 @@ let create reg ~id =
       Telemetry.Registry.histogram reg
         ~help:"Duration of leader degraded-mode windows (quorum lost)" ~labels
         "mu_degraded_ns";
+    batch_occupancy =
+      Telemetry.Registry.histogram reg
+        ~help:"Requests coalesced per committed log entry (batch occupancy)" ~labels
+        "mu_batch_occupancy";
     score_gauges = Hashtbl.create 8;
   }
 
@@ -103,3 +108,4 @@ let catch_up t n =
 
 let shed t = Telemetry.Registry.Counter.inc t.shed_requests
 let degraded_ns t ns = Telemetry.Hdr.record t.degraded ns
+let batch_occupancy t n = Telemetry.Hdr.record t.batch_occupancy n

@@ -43,3 +43,8 @@ val rejoin_parity_ns : t -> int -> unit
 val catch_up : t -> int -> unit
 val shed : t -> unit
 val degraded_ns : t -> int -> unit
+
+val batch_occupancy : t -> int -> unit
+(** Record the number of requests coalesced into one committed log
+    entry ([mu_batch_occupancy{replica}] — a count histogram, not a
+    latency). *)

@@ -1,0 +1,67 @@
+(* The shard-count × batch-size throughput/latency surface: Fig. 7
+   extended along the §8 sharding axis. Each point is one fresh
+   simulation (Workload.Experiments.run_sim, so tracing/telemetry
+   compose) of the serving tier under a saturating open-loop
+   population; batch sizes > 1 additionally engage the leader's
+   doorbell so slot writes coalesce on the wire. *)
+
+type point = {
+  shards : int;
+  batch : int;
+  doorbell : int;
+  offered_per_us : float;
+  committed_per_us : float;
+  shed : int;
+  suppressed : int;
+  p50_ns : int;
+  p99_ns : int;
+}
+
+let config ~batch ~doorbell =
+  {
+    Mu.Config.default with
+    Mu.Config.max_batch = batch;
+    max_outstanding = 4;
+    doorbell;
+    log_slots = 8192;
+    recycle_slack = 128;
+    recycle_interval = 200_000;
+    value_cap = max 1024 ((batch * 96) + 64);
+  }
+
+let run_point setup ~shards ~batch ?doorbell ~clients ~think_ns ~duration () =
+  let doorbell =
+    match doorbell with Some d -> d | None -> if batch > 1 then 4 else 1
+  in
+  Workload.Experiments.run_sim setup ~until:((duration * 50) + 1_000_000_000)
+    (fun e ->
+      let rng = Sim.Rng.split (Sim.Engine.rng e) in
+      let population = Population.create ~clients ~think_ns rng in
+      Tier.run e setup.Workload.Experiments.cal (config ~batch ~doorbell) ~shards
+        ~population ~duration ())
+
+let point_of ~shards ~batch ~doorbell (r : Tier.report) =
+  {
+    shards;
+    batch;
+    doorbell;
+    offered_per_us = r.Tier.offered_per_us;
+    committed_per_us = r.Tier.committed_per_us;
+    shed = r.Tier.shed;
+    suppressed = r.Tier.suppressed;
+    p50_ns = r.Tier.p50_ns;
+    p99_ns = r.Tier.p99_ns;
+  }
+
+let sweep setup ~shard_counts ~batches ~clients ~think_ns ~duration =
+  List.concat_map
+    (fun shards ->
+      List.map
+        (fun batch ->
+          let doorbell = if batch > 1 then 4 else 1 in
+          let rep =
+            run_point setup ~shards ~batch ~doorbell ~clients ~think_ns ~duration ()
+          in
+          point_of ~shards ~batch ~doorbell rep)
+        batches)
+    shard_counts

@@ -1,0 +1,210 @@
+(* The serving tier: an open-loop population drives a Mu.Sharded cluster
+   through a router, with per-shard admission control. One generator
+   fiber paces arrivals; each admitted request gets a short-lived fiber
+   that submits, retries shed replies with back-off, and records
+   latency. Shedding happens at two points: tier admission (per-shard
+   in-flight bound, Recovery.Backpressure) and, under it, the leader's
+   own queue bound when configured. *)
+
+type shard_report = {
+  shard : int;
+  submitted : int;
+  committed : int;
+  shed : int;
+  retried : int;
+  max_inflight : int;
+  p50_ns : int;
+  p99_ns : int;
+}
+
+type report = {
+  offered : int;
+  completed : int;
+  shed : int;
+  retried : int;
+  suppressed : int;
+  duration_ns : int;
+  offered_per_us : float;
+  committed_per_us : float;
+  p50_ns : int;
+  p99_ns : int;
+  per_shard : shard_report list;
+}
+
+(* Pre-resolved per-shard instruments, created only when the engine has
+   a registry attached — telemetry-off runs never touch the registry. *)
+type handles = {
+  queue_g : Telemetry.Registry.gauge array;
+  inflight_g : Telemetry.Registry.gauge array;
+  shed_c : Telemetry.Registry.counter array;
+  committed_c : Telemetry.Registry.counter array;
+  retried_c : Telemetry.Registry.counter array;
+  lat_h : Telemetry.Hdr.t array;
+}
+
+let handles_of reg ~shards =
+  let mk f = Array.init shards (fun i -> f [ ("shard", string_of_int i) ]) in
+  {
+    queue_g =
+      mk (fun labels ->
+          Telemetry.Registry.gauge reg ~help:"Leader incoming-queue depth of a shard"
+            ~labels "serving_queue_depth");
+    inflight_g =
+      mk (fun labels ->
+          Telemetry.Registry.gauge reg ~help:"Tier-level in-flight requests on a shard"
+            ~labels "serving_inflight");
+    shed_c =
+      mk (fun labels ->
+          Telemetry.Registry.counter reg
+            ~help:"Requests shed by tier admission or abandoned after shed-retry" ~labels
+            "serving_shed_total");
+    committed_c =
+      mk (fun labels ->
+          Telemetry.Registry.counter reg ~help:"Requests completed with a response"
+            ~labels "serving_committed_total");
+    retried_c =
+      mk (fun labels ->
+          Telemetry.Registry.counter reg ~help:"Back-off retries after a shed reply"
+            ~labels "serving_retried_total");
+    lat_h =
+      mk (fun labels ->
+          Telemetry.Registry.histogram reg ~help:"Tier-observed completion latency"
+            ~labels "serving_latency_ns");
+  }
+
+let run e cal cfg ~shards ~population ~duration ?(admit_limit = 128) () =
+  if duration <= 0 then invalid_arg "Tier.run: duration must be positive";
+  let s =
+    Mu.Sharded.create e cal cfg ~shards ~make_app:(fun ~shard:_ ~replica:_ ->
+        Mu.Smr.stateless_app (fun b -> b))
+  in
+  Mu.Sharded.start s;
+  Mu.Sharded.wait_live s;
+  let router = Router.create ~shards in
+  let bp = Array.init shards (fun _ -> Recovery.Backpressure.create ~limit:admit_limit) in
+  let tel = Option.map (fun reg -> handles_of reg ~shards) (Sim.Engine.metrics e) in
+  let lat = Sim.Stats.Samples.create () in
+  let t_start = Sim.Engine.now e in
+  let t_end = t_start + duration in
+  let open_reqs = ref 0 in
+  let draining = ref false in
+  (match tel with
+  | Some h ->
+    Sim.Engine.spawn e ~name:"serving-sampler" (fun () ->
+        while (not !draining) || !open_reqs > 0 do
+          for i = 0 to shards - 1 do
+            Telemetry.Registry.Gauge.set h.queue_g.(i) (Mu.Sharded.queue_depth s i);
+            Telemetry.Registry.Gauge.set h.inflight_g.(i) (Router.stats router i).Router.inflight
+          done;
+          Sim.Engine.sleep e 50_000
+        done)
+  | None -> ());
+  let issue (a : Population.arrival) =
+    let shard = Router.route router a.Population.key in
+    let st = Router.stats router shard in
+    if not (Recovery.Backpressure.admit bp.(shard) ~depth:st.Router.inflight) then begin
+      st.Router.shed <- st.Router.shed + 1;
+      match tel with
+      | Some h -> Telemetry.Registry.Counter.inc h.shed_c.(shard)
+      | None -> ()
+    end
+    else begin
+      st.Router.inflight <- st.Router.inflight + 1;
+      if st.Router.inflight > st.Router.max_inflight then
+        st.Router.max_inflight <- st.Router.inflight;
+      st.Router.submitted <- st.Router.submitted + 1;
+      incr open_reqs;
+      let body =
+        Bytes.of_string (Printf.sprintf "c%d:%s" a.Population.client a.Population.key)
+      in
+      Sim.Engine.spawn e ~name:"serving-req" (fun () ->
+          let started = Sim.Engine.now e in
+          let rec attempt tries =
+            let reply =
+              Sim.Engine.Ivar.read (Mu.Sharded.submit_async s ~key:a.Population.key body)
+            in
+            if Mu.Smr.is_retryable reply && tries > 0 then begin
+              st.Router.retried <- st.Router.retried + 1;
+              (match tel with
+              | Some h -> Telemetry.Registry.Counter.inc h.retried_c.(shard)
+              | None -> ());
+              Sim.Engine.sleep e 200_000;
+              attempt (tries - 1)
+            end
+            else reply
+          in
+          let reply = attempt 3 in
+          st.Router.inflight <- st.Router.inflight - 1;
+          decr open_reqs;
+          if Mu.Smr.is_retryable reply then begin
+            st.Router.shed <- st.Router.shed + 1;
+            match tel with
+            | Some h -> Telemetry.Registry.Counter.inc h.shed_c.(shard)
+            | None -> ()
+          end
+          else begin
+            st.Router.committed <- st.Router.committed + 1;
+            let d = Sim.Engine.now e - started in
+            Sim.Stats.Samples.add st.Router.latency d;
+            Sim.Stats.Samples.add lat d;
+            match tel with
+            | Some h ->
+              Telemetry.Registry.Counter.inc h.committed_c.(shard);
+              Telemetry.Hdr.record h.lat_h.(shard) d
+            | None -> ()
+          end)
+    end
+  in
+  let rec generate () =
+    let now = Sim.Engine.now e in
+    if now < t_end then begin
+      let a = Population.next population ~now in
+      Sim.Engine.sleep e a.Population.gap_ns;
+      if Sim.Engine.now e < t_end then issue a;
+      generate ()
+    end
+  in
+  generate ();
+  draining := true;
+  (* Bounded drain: give the in-flight tail a grace window, then stop.
+     Requests still open past it (e.g. parked behind a lost quorum)
+     count as neither committed nor shed. *)
+  let grace_end = Sim.Engine.now e + 20_000_000 in
+  while !open_reqs > 0 && Sim.Engine.now e < grace_end do
+    Sim.Engine.sleep e 100_000
+  done;
+  Mu.Sharded.stop s;
+  let pct samples q =
+    match Sim.Stats.Samples.percentile_opt samples q with Some v -> v | None -> 0
+  in
+  let per_shard =
+    List.init shards (fun i ->
+        let st = Router.stats router i in
+        {
+          shard = i;
+          submitted = st.Router.submitted;
+          committed = st.Router.committed;
+          shed = st.Router.shed;
+          retried = st.Router.retried;
+          max_inflight = st.Router.max_inflight;
+          p50_ns = pct st.Router.latency 50.;
+          p99_ns = pct st.Router.latency 99.;
+        })
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 per_shard in
+  let offered = Population.arrivals population in
+  let completed = sum (fun r -> r.committed) in
+  let per_us count = float_of_int count *. 1000.0 /. float_of_int duration in
+  {
+    offered;
+    completed;
+    shed = sum (fun r -> r.shed);
+    retried = sum (fun r -> r.retried);
+    suppressed = Population.suppressed population;
+    duration_ns = duration;
+    offered_per_us = per_us offered;
+    committed_per_us = per_us completed;
+    p50_ns = pct lat 50.;
+    p99_ns = pct lat 99.;
+    per_shard;
+  }

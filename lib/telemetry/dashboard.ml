@@ -158,6 +158,100 @@ let recovery_summary reg =
     Buffer.contents b
   end
 
+(* --- serving tier -------------------------------------------------------- *)
+
+(* Per-shard serving instruments in one table — queue depth and in-flight
+   gauges (their value at the last update), shed/committed/retried
+   counters, tier latency percentiles — plus the leaders' batch-occupancy
+   histogram (requests coalesced per committed log entry) merged across
+   replicas and drawn as an ASCII bar chart. *)
+let serving_summary reg =
+  let metrics = Registry.metrics reg in
+  let shard_of (m : Registry.metric) = List.assoc_opt "shard" m.labels in
+  let counter name shard =
+    List.find_map
+      (fun (m : Registry.metric) ->
+        match m.kind with
+        | Registry.Counter c when m.name = name && shard_of m = Some shard ->
+          Some (Registry.Counter.value c)
+        | _ -> None)
+      metrics
+  in
+  let gauge name shard =
+    List.find_map
+      (fun (m : Registry.metric) ->
+        match m.kind with
+        | Registry.Gauge g when m.name = name && shard_of m = Some shard ->
+          Some (Registry.Gauge.value g)
+        | _ -> None)
+      metrics
+  in
+  let hist name shard =
+    List.find_map
+      (fun (m : Registry.metric) ->
+        match m.kind with
+        | Registry.Histogram h when m.name = name && shard_of m = Some shard -> Some h
+        | _ -> None)
+      metrics
+  in
+  let shards =
+    List.filter_map
+      (fun (m : Registry.metric) ->
+        if m.name = "serving_committed_total" then shard_of m else None)
+      metrics
+  in
+  let occupancy =
+    List.filter_map
+      (fun (m : Registry.metric) ->
+        match m.kind with
+        | Registry.Histogram h when m.name = "mu_batch_occupancy" && Hdr.count h > 0 ->
+          Some h
+        | _ -> None)
+      metrics
+  in
+  if shards = [] && occupancy = [] then ""
+  else begin
+    let b = Buffer.create 1024 in
+    if shards <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "%-6s %6s %9s %9s %7s %8s %10s %10s\n" "shard" "queue" "inflight"
+           "committed" "shed" "retried" "p50(us)" "p99(us)");
+      List.iter
+        (fun shard ->
+          let num name = match counter name shard with Some v -> v | None -> 0 in
+          let gv name = match gauge name shard with Some v -> v | None -> 0 in
+          let pct q =
+            match hist "serving_latency_ns" shard with
+            | Some h -> (
+              match Hdr.quantile h q with
+              | Some v -> Printf.sprintf "%10.2f" (ns_to_us v)
+              | None -> "         -")
+            | None -> "         -"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%-6s %6d %9d %9d %7d %8d %s %s\n" shard
+               (gv "serving_queue_depth") (gv "serving_inflight")
+               (num "serving_committed_total") (num "serving_shed_total")
+               (num "serving_retried_total") (pct 0.5) (pct 0.99)))
+        shards
+    end;
+    (match occupancy with
+    | [] -> ()
+    | first :: rest ->
+      let merged = Hdr.create ~precision:(Hdr.precision first) () in
+      List.iter (fun h -> Hdr.merge ~into:merged h) (first :: rest);
+      let bks = Hdr.buckets merged in
+      let widest = List.fold_left (fun acc (_, _, c) -> max acc c) 1 bks in
+      Buffer.add_string b "batch occupancy (requests per committed entry):\n";
+      List.iter
+        (fun (lo, hi, count) ->
+          let bar = String.make (max 1 (count * 32 / widest)) '#' in
+          let label = if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi in
+          Buffer.add_string b (Printf.sprintf "  %-8s %8d |%s\n" label count bar))
+        bks);
+    Buffer.contents b
+  end
+
 (* --- score timeline ------------------------------------------------------ *)
 
 (* One row per (replica, peer, epoch) score series that actually moved.
@@ -260,6 +354,7 @@ let render ?sampler reg =
   section "latency percentiles" (percentile_table reg);
   section "fail-over breakdown" (failover_breakdown reg);
   section "crash recovery" (recovery_summary reg);
+  section "serving tier" (serving_summary reg);
   (match sampler with
   | Some s -> section "failure-detector scores" (score_timeline s)
   | None -> ());

@@ -22,6 +22,13 @@ val recovery_summary : Registry.t -> string
     degraded-window and shed-request totals; empty string if no
     recovery ran. *)
 
+val serving_summary : Registry.t -> string
+(** Serving-tier instruments: one row per shard (queue depth and
+    in-flight gauges, committed/shed/retried counters, tier latency
+    p50/p99 from [serving_latency_ns]) plus the [mu_batch_occupancy]
+    histogram merged across replicas as an ASCII bar chart; empty
+    string if no serving run was recorded. *)
+
 val score_timeline : ?width:int -> ?fail:int -> ?recover:int -> Sampler.t -> string
 (** One row per (replica, peer, epoch) [mu_score] series that crossed
     below [fail] (default 2); scores render as one hex digit (0-f) per

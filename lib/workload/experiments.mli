@@ -32,6 +32,15 @@ type setup = {
 
 val default_setup : setup
 
+val run_sim : setup -> ?until:int -> (Sim.Engine.t -> 'a) -> 'a
+(** Run one simulation to completion of [f]: a fresh engine seeded from
+    the setup, with tracer/provenance/metrics-sampler attached per the
+    setup's fields, [f] spawned as the experiment fiber, and the engine
+    run (bounded by [until] when given). Fails if [f] does not complete
+    — a deadlock or an exhausted [until] budget. Exposed so external
+    drivers (e.g. the serving tier's surface sweep) compose with the
+    same instrumentation contract as the figure experiments. *)
+
 (** {1 Fig. 2 — permission-switch mechanisms vs log size} *)
 
 type fig2_row = {

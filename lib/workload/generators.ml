@@ -39,6 +39,26 @@ let zipf rng ~n ~theta =
     !lo
   end
 
+(* Arrival-process samplers for the serving tier. All draw exclusively
+   from the rng passed in — never from an engine stream — so a run that
+   does not construct a serving population stays byte-identical to one
+   compiled without lib/serving at all. *)
+
+let poisson_gap rng ~rate =
+  if rate <= 0.0 then invalid_arg "Generators.poisson_gap: rate must be positive";
+  max 1 (int_of_float (Sim.Rng.exponential rng ~mean:(1.0 /. rate)))
+
+let diurnal_rate ~base ~amplitude ~period_ns ~now =
+  if period_ns <= 0 then invalid_arg "Generators.diurnal_rate: period must be positive";
+  let phase =
+    2.0 *. Float.pi *. (float_of_int (now mod period_ns) /. float_of_int period_ns)
+  in
+  Float.max (base *. 0.05) (base *. (1.0 +. (amplitude *. sin phase)))
+
+let think_gap rng ~mean_ns =
+  if mean_ns <= 0 then invalid_arg "Generators.think_gap: mean must be positive";
+  max 0 (int_of_float (Sim.Rng.exponential rng ~mean:(float_of_int mean_ns)))
+
 type kv_mix = { read_ratio : float; keys : int; value_size : int; theta : float }
 
 let default_kv_mix = { read_ratio = 0.5; keys = 10_000; value_size = 32; theta = 0.99 }

@@ -11,6 +11,25 @@ val zipf : Sim.Rng.t -> n:int -> theta:float -> int
 (** Zipfian key index in [0, n) with skew [theta] (0 = uniform; 0.99 =
     YCSB default). Uses the standard rejection-free approximation. *)
 
+(** {1 Arrival-process samplers}
+
+    Used by the serving tier's open-loop population model. Each draws
+    {e only} from the [Sim.Rng.t] passed in — never from an engine
+    stream — so serving-off runs stay byte-identical to seed. *)
+
+val poisson_gap : Sim.Rng.t -> rate:float -> int
+(** Exponential inter-arrival gap (≥ 1 ns) for a Poisson process of
+    [rate] events per ns. Raises [Invalid_argument] on a non-positive
+    rate. *)
+
+val diurnal_rate : base:float -> amplitude:float -> period_ns:int -> now:int -> float
+(** Sinusoidal day/night modulation of a base arrival rate:
+    [base · (1 + amplitude · sin(2π · now/period))], floored at 5% of
+    [base]. Pure — no randomness. *)
+
+val think_gap : Sim.Rng.t -> mean_ns:int -> int
+(** Exponential per-client think time with the given mean. *)
+
 type kv_mix = { read_ratio : float; keys : int; value_size : int; theta : float }
 
 val default_kv_mix : kv_mix

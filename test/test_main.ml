@@ -26,4 +26,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("provenance", Test_provenance.suite);
       ("properties", Test_properties.suite);
+      ("serving", Test_serving.suite);
     ]
