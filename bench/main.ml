@@ -101,7 +101,7 @@ let want id = (!only = [] && id <> "bechamel") || List.mem id !only || (id = "be
 
 let setup () =
   { E.seed = !seed; cal = Sim.Calibration.default; trace = !tracer; metrics = !sampler;
-    faults = !faults; provenance = false }
+    faults = !faults; provenance = false; on_engine = None }
 
 (* Captured for BENCH_results.json and the acceptance checks. *)
 let mu_samples : Sim.Stats.Samples.t option ref = ref None
@@ -543,6 +543,92 @@ let serving () =
   Fmt.pr "  check: batch %d beats batch 1 at every shard count: %s@." max_batch
     (if ok then "OK" else "FAIL")
 
+(* --- Online SLO monitor --------------------------------------------------- *)
+
+let monitor_log : Monitor.Log.t option ref = ref None
+let monitor_windows = ref 0
+
+let monitor () =
+  section "monitor" "online SLO monitor: deterministic alerting through kill-restart chaos";
+  Fmt.pr
+    "  The monitor plane (DESIGN.md \xc2\xa716) rides the telemetry sampler during a@.\
+    \  kill-restart chaos run: virtual-time SLO windows close every 20 us and a@.\
+    \  hysteresis rule engine turns breaches into fire/clear alert edges.@.";
+  let scenario = Option.get (Faults.Scenario.by_name ~n:3 "kill-restart") in
+  let reg = Telemetry.Registry.create () in
+  let sampler = Telemetry.Sampler.create reg ~interval:10_000 in
+  let online = ref None in
+  (* Dense traffic (think 50 us) keeps every window non-empty so the rate
+     rules do not flap; the run outlives the 25 ms restart so the rejoin
+     watchdog sees the catch-up in flight. Deliberately not [scale]d. *)
+  let o =
+    Workload.Chaos.run ~metrics:sampler
+      ~on_engine:(fun e ->
+        online := Some (Monitor.Online.attach ~window_ns:20_000 e sampler))
+      ~ops_per_client:600 ~think:50_000 ~seed:!seed ~n:3 scenario
+  in
+  let online = Option.get !online in
+  let log = Monitor.Online.log online in
+  monitor_log := Some log;
+  monitor_windows := Monitor.Online.windows online;
+  Fmt.pr "  %a@." Workload.Chaos.pp_outcome o;
+  Fmt.pr "  windows evaluated: %d; alert edges: %d@." (Monitor.Online.windows online)
+    (Monitor.Log.length log);
+  List.iter (fun en -> Fmt.pr "  %a@." Monitor.Log.pp_entry en) (Monitor.Log.entries log);
+  (match Monitor.Log.firing log with
+  | [] -> ()
+  | still -> Fmt.pr "  still firing at halt: %s@." (String.concat ", " still));
+  let edges rule =
+    let es = List.filter (fun (en : Monitor.Log.entry) -> en.rule = rule)
+        (Monitor.Log.entries log) in
+    ( List.exists (fun (en : Monitor.Log.entry) -> en.edge = `Fire) es,
+      List.exists (fun (en : Monitor.Log.entry) -> en.edge = `Clear) es )
+  in
+  List.iter
+    (fun rule ->
+      let fired, cleared = edges rule in
+      let ok = fired && cleared in
+      record_check ("monitor_" ^ rule ^ "_edges") ok
+        (Printf.sprintf "%s fired=%b cleared=%b during kill-restart" rule fired cleared);
+      Fmt.pr "  check: %s fires and clears: %s@." rule (if ok then "OK" else "FAIL"))
+    [ "quorum_loss"; "rejoin_lag" ]
+
+(* --- Observability self-profiling ----------------------------------------- *)
+
+let overhead_samples : Monitor.Overhead.sample list ref = ref []
+
+let observability () =
+  section "observability" "self-profiling: per-layer observability overhead";
+  Fmt.pr
+    "  The same synthetic fiber workload (every op passes a span scope and a@.\
+    \  trace-counter hook) run once per instrumentation layer; deltas against@.\
+    \  the baseline row are the per-layer hook cost.@.";
+  let sleeps = if !quick then 500 else 2_000 in
+  let samples = Monitor.Overhead.run_all ~sleeps ~clock:Unix.gettimeofday () in
+  overhead_samples := samples;
+  List.iter (fun s -> Fmt.pr "  %a@." Monitor.Overhead.pp_sample s) samples;
+  let baseline =
+    List.find (fun (s : Monitor.Overhead.sample) -> s.layer = "baseline") samples
+  in
+  (* Disabled hooks must stay lean: the budget covers the fiber loop and
+     the engine's own sleep bookkeeping, not per-hook allocation (the
+     exact zero-allocation claim is asserted by the sim test suite). *)
+  let ok_alloc = baseline.Monitor.Overhead.minor_words_per_op < 128.0 in
+  record_check "observability_disabled_hooks_lean" ok_alloc
+    (Printf.sprintf "baseline %.1f minor words/op (budget 128)"
+       baseline.Monitor.Overhead.minor_words_per_op);
+  Fmt.pr "  check: disabled hooks lean (%.1f words/op < 128): %s@."
+    baseline.Monitor.Overhead.minor_words_per_op
+    (if ok_alloc then "OK" else "FAIL");
+  (* Generous wall-clock floor: catches order-of-magnitude regressions
+     only, never flakes on a loaded CI box. *)
+  let ok_rate = baseline.Monitor.Overhead.ops_per_s > 20_000.0 in
+  record_check "observability_events_per_sec_floor" ok_rate
+    (Printf.sprintf "baseline %.0f ops/s (floor 20000)"
+       baseline.Monitor.Overhead.ops_per_s);
+  Fmt.pr "  check: baseline throughput above generous floor: %s@."
+    (if ok_rate then "OK" else "FAIL")
+
 (* --- Engine event-rate microbench ---------------------------------------- *)
 
 let engine_events_per_sec : float option ref = ref None
@@ -651,6 +737,8 @@ let () =
   then ablations ();
   if want "recovery" then recovery ();
   if want "serving" then serving ();
+  if want "monitor" then monitor ();
+  if want "observability" then observability ();
   if want "engine-speed" then engine_speed ();
   if want "bechamel" then bechamel_suite ();
   csv_flush "fig3.csv" ~header:"configuration,median_us,p1_us,p99_us";
@@ -760,6 +848,41 @@ let () =
             points)
      in
      Buffer.add_string b (Printf.sprintf "{\"surface\":[%s]}" cells));
+   Buffer.add_string b ",\"monitor\":";
+   (match !monitor_log with
+   | None -> Buffer.add_string b "null"
+   | Some log ->
+     (* Virtual-time alert edges: fully deterministic per seed. *)
+     let entries =
+       String.concat ","
+         (List.map
+            (fun (en : Monitor.Log.entry) ->
+              Printf.sprintf "{\"at\":%d,\"window\":%d,\"rule\":\"%s\",\"edge\":\"%s\"}"
+                en.at en.window en.rule
+                (match en.edge with `Fire -> "fire" | `Clear -> "clear"))
+            (Monitor.Log.entries log))
+     in
+     Buffer.add_string b
+       (Printf.sprintf "{\"windows\":%d,\"edges\":%d,\"alerts\":[%s],\"firing\":[%s]}"
+          !monitor_windows (Monitor.Log.length log) entries
+          (String.concat ","
+             (List.map (fun r -> "\"" ^ r ^ "\"") (Monitor.Log.firing log)))));
+   Buffer.add_string b ",\"observability\":";
+   (match !overhead_samples with
+   | [] -> Buffer.add_string b "null"
+   | samples ->
+     (* Wall-clock fields are volatile — never byte-compared. *)
+     let rows =
+       String.concat ","
+         (List.map
+            (fun (s : Monitor.Overhead.sample) ->
+              Printf.sprintf
+                "{\"layer\":\"%s\",\"ops\":%d,\"ops_per_s\":%.0f,\
+                 \"minor_words_per_op\":%.2f}"
+                s.layer s.ops s.ops_per_s s.minor_words_per_op)
+            samples)
+     in
+     Buffer.add_string b (Printf.sprintf "{\"layers\":[%s]}" rows));
    Buffer.add_string b ",\"engine_events_per_sec\":";
    (match !engine_events_per_sec with
    | Some r -> Buffer.add_string b (Printf.sprintf "%.0f" r)

@@ -13,9 +13,9 @@
 
 open Cmdliner
 
-let setup_of ?trace ?metrics ?faults ?(provenance = false) seed =
+let setup_of ?trace ?metrics ?faults ?(provenance = false) ?on_engine seed =
   { Workload.Experiments.seed = Int64.of_int seed; cal = Sim.Calibration.default; trace;
-    metrics; faults; provenance }
+    metrics; faults; provenance; on_engine }
 
 (* --- fault scenarios ------------------------------------------------------ *)
 
@@ -441,6 +441,143 @@ let chaos_cmd =
       const run $ setup_logs $ seed_arg $ n_arg $ scenario_arg $ sweep_arg $ replay_arg
       $ repro_arg $ trace_arg)
 
+(* --- watch -------------------------------------------------------------------- *)
+
+(* Live SLO dashboard over a chaos run: the online monitor evaluates
+   alert rules at virtual-time window boundaries while the cluster runs,
+   printing every firing/clearing edge as it happens plus periodic
+   status lines. All times are virtual, so equal seeds produce
+   byte-identical output — CI double-runs this and cmp's stdout. *)
+
+let watch_cmd =
+  let run () seed n scenario_spec clients ops think window interval status_every
+      log_file =
+    let scenario = scenario_or_die ~n scenario_spec in
+    let reg = Telemetry.Registry.create () in
+    let sampler = Telemetry.Sampler.create reg ~interval in
+    let monitor = ref None in
+    let alerts = ref 0 in
+    let o =
+      Workload.Chaos.run ~metrics:sampler
+        ~on_engine:(fun e ->
+          let m = Monitor.Online.attach ~window_ns:window e sampler in
+          Monitor.Online.on_alert m (fun entry ->
+            incr alerts;
+            Fmt.pr "%a@." Monitor.Log.pp_entry entry);
+          if status_every > 0 then
+            Monitor.Online.on_window m (fun w rules ->
+                if (Monitor.Slo.index w + 1) mod status_every = 0 then begin
+                  let commits = Monitor.Slo.delta w "mu_commit_apply_ns" in
+                  let p99 =
+                    match
+                      Monitor.Slo.quantile_ns w "mu_replication_latency_ns" 0.99
+                    with
+                    | Some v -> Printf.sprintf "%dns" v
+                    | None -> "-"
+                  in
+                  let fuo =
+                    match Monitor.Slo.value w Monitor.Slo.Max "mu_fuo" with
+                    | Some v -> int_of_float v
+                    | None -> 0
+                  in
+                  let firing =
+                    List.filter Monitor.Rules.firing rules
+                    |> List.map Monitor.Rules.name
+                  in
+                  Fmt.pr "[%8dus] w=%-4d commits=%-3.0f p99=%-8s fuo=%-5d %a@."
+                    (Monitor.Slo.t1 w / 1000)
+                    (Monitor.Slo.index w) commits p99 fuo
+                    Fmt.(
+                      if firing = [] then any "ok"
+                      else const (list ~sep:comma string) firing)
+                    ()
+                end);
+          monitor := Some m)
+        ~clients ~ops_per_client:ops ~think ~seed:(Int64.of_int seed) ~n scenario
+    in
+    Fmt.pr "---@.%a@." Workload.Chaos.pp_outcome o;
+    (match !monitor with
+    | None -> ()
+    | Some m ->
+      Fmt.pr "windows evaluated: %d; alert edges: %d; still firing: %a@."
+        (Monitor.Online.windows m)
+        (Monitor.Log.length (Monitor.Online.log m))
+        Fmt.(list ~sep:comma string)
+        (Monitor.Online.firing m);
+      (match log_file with
+      | Some file ->
+        let oc = open_out_bin file in
+        output_string oc (Monitor.Log.to_json (Monitor.Online.log m));
+        close_out oc;
+        Fmt.pr "alert log written to %s@." file
+      | None -> ()));
+    exit (if Workload.Chaos.passed o then 0 else 1)
+  in
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Replicas in the cluster.")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "kill-restart"
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "Named scenario (crash-leader, partition-leader, lossy-fabric, \
+             kill-restart) or a scenario JSON file.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 600
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per client.")
+  in
+  let think_arg =
+    Arg.(
+      value
+      & opt int 50_000
+      & info [ "think" ] ~docv:"NS"
+          ~doc:
+            "Virtual think time between a client's operations; the default \
+             stretches traffic across the scenario's fault window so rejoins \
+             happen under load.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt int 20_000
+      & info [ "window" ] ~docv:"NS" ~doc:"SLO evaluation window (virtual ns).")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "interval" ] ~docv:"NS" ~doc:"Telemetry sampling interval (virtual ns).")
+  in
+  let status_arg =
+    Arg.(
+      value & opt int 250
+      & info [ "status-every" ] ~docv:"K"
+          ~doc:"Print a status line every $(docv) windows (0 disables).")
+  in
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:"Write the alert log (mu-monitor-log/1 JSON) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Watch a chaos run live: the online monitor evaluates SLO windows \
+          (latency bands, commit progress, quorum loss, rejoin lag) in virtual \
+          time and prints every alert edge as it happens. Deterministic per seed.")
+    Term.(
+      const run $ setup_logs $ seed_arg $ n_arg $ scenario_arg $ clients_arg $ ops_arg
+      $ think_arg $ window_arg $ interval_arg $ status_arg $ log_arg)
+
 (* --- explain ------------------------------------------------------------------ *)
 
 (* Post-mortem causal analysis: rerun an experiment with provenance spans
@@ -827,4 +964,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "mu_demo" ~doc)
           [ latency_cmd; compare_cmd; failover_cmd; throughput_cmd; detectors_cmd;
-            metrics_cmd; chaos_cmd; explain_cmd; serve_cmd; report_cmd ]))
+            metrics_cmd; chaos_cmd; watch_cmd; explain_cmd; serve_cmd; report_cmd ]))

@@ -1,0 +1,90 @@
+(* Observability self-profiling: what does each instrumentation layer
+   cost the simulator?
+
+   The workload is fixed and synthetic — [fibers] fibers each doing
+   [sleeps] short virtual sleeps, every op wrapped in the hooks a real
+   instrumented path hits (a provenance span scope, a trace counter) —
+   and is run once per layer configuration. Wall-clock comes from the
+   caller's [clock] (the library stays clock-free so simulation code
+   can depend on it); allocation comes from [Gc.minor_words] deltas.
+
+   The numbers are wall-clock measurements and therefore NOT
+   deterministic — they go into bench results as volatile fields, never
+   into byte-compared artifacts. *)
+
+type layer = Baseline | Trace | Telemetry | Provenance | Monitor
+
+let layer_name = function
+  | Baseline -> "baseline"
+  | Trace -> "trace"
+  | Telemetry -> "telemetry"
+  | Provenance -> "provenance"
+  | Monitor -> "monitor"
+
+let all_layers = [ Baseline; Trace; Telemetry; Provenance; Monitor ]
+
+type sample = {
+  layer : string;
+  ops : int;  (* instrumented operations executed *)
+  wall_s : float;
+  ops_per_s : float;
+  minor_words_per_op : float;
+}
+
+let gap_ns = 1_000
+
+let run ?(fibers = 32) ?(sleeps = 2_000) ~clock layer =
+  let e = Sim.Engine.create ~seed:1L () in
+  let tracer = Trace.Tracer.create ~capacity:4096 () in
+  (match layer with
+  | Baseline -> ()
+  | Trace -> Trace.Tracer.attach tracer e
+  | Telemetry -> Sim.Engine.set_metrics e (Telemetry.Registry.create ())
+  | Provenance ->
+    Trace.Tracer.attach tracer e;
+    Sim.Engine.set_provenance e true
+  | Monitor ->
+    let reg = Telemetry.Registry.create () in
+    let sampler = Telemetry.Sampler.create reg ~interval:10_000 in
+    Sim.Engine.set_metrics e reg;
+    Telemetry.Sampler.start_epoch sampler;
+    let _online = Online.attach e sampler in
+    Sim.Engine.spawn e ~name:"telemetry-sampler" (fun () ->
+        let rec loop () =
+          Telemetry.Sampler.tick sampler ~now:(Sim.Engine.now e);
+          Sim.Engine.sleep e (Telemetry.Sampler.interval sampler);
+          loop ()
+        in
+        loop ()));
+  for f = 1 to fibers do
+    Sim.Engine.spawn e ~name:(Printf.sprintf "load-%d" f) (fun () ->
+        (* hoisted so a disabled-layer iteration allocates nothing here *)
+        let body () = Sim.Engine.sleep e gap_ns in
+        for i = 1 to sleeps do
+          Sim.Engine.span_scope e "op" body;
+          Sim.Engine.trace_counter e ~cat:"load" "ops" ~value:i
+        done)
+  done;
+  let horizon = (sleeps * gap_ns) + 1_000_000 in
+  let w0 = Gc.minor_words () in
+  let c0 = clock () in
+  Sim.Engine.run ~until:horizon e;
+  let wall_s = clock () -. c0 in
+  let words = Gc.minor_words () -. w0 in
+  let ops = fibers * sleeps in
+  {
+    layer = layer_name layer;
+    ops;
+    wall_s;
+    ops_per_s = (if wall_s > 0.0 then float_of_int ops /. wall_s else 0.0);
+    minor_words_per_op = words /. float_of_int ops;
+  }
+
+let run_all ?fibers ?sleeps ~clock () =
+  List.map (fun l -> run ?fibers ?sleeps ~clock l) all_layers
+
+let pp_sample ppf s =
+  Fmt.pf ppf "%-11s %9.0f ops/s  %6.1f words/op" s.layer s.ops_per_s
+    s.minor_words_per_op
+
+let pp ppf samples = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_sample) samples

@@ -1,0 +1,35 @@
+(** Observability self-profiling.
+
+    Runs a fixed synthetic fiber workload (every op passes through a
+    provenance span scope and a trace counter hook) once per
+    instrumentation layer and reports wall-clock throughput plus
+    [Gc.minor_words] allocation per op. The deltas between layers are
+    the per-layer observability overhead; the [baseline] row doubles as
+    the events/sec floor the bench job checks.
+
+    Wall-clock numbers come from the caller's [clock] (e.g.
+    [Unix.gettimeofday]) and are {e not} deterministic — they belong in
+    volatile bench fields, never in byte-compared artifacts. *)
+
+type layer = Baseline | Trace | Telemetry | Provenance | Monitor
+
+val layer_name : layer -> string
+val all_layers : layer list
+
+type sample = {
+  layer : string;
+  ops : int;
+  wall_s : float;
+  ops_per_s : float;
+  minor_words_per_op : float;
+}
+
+val run : ?fibers:int -> ?sleeps:int -> clock:(unit -> float) -> layer -> sample
+(** Default workload: 32 fibers x 2000 sleeps. *)
+
+val run_all :
+  ?fibers:int -> ?sleeps:int -> clock:(unit -> float) -> unit -> sample list
+(** One sample per {!all_layers}, in order (baseline first). *)
+
+val pp_sample : sample Fmt.t
+val pp : sample list Fmt.t

@@ -1,0 +1,117 @@
+(** Alert rules with hysteresis.
+
+    A rule is a named check evaluated once per {!Slo.window}. It fires
+    after [fire_after] consecutive breaching windows and clears after
+    [clear_after] consecutive clean ones, so a single noisy window
+    cannot flap an alert. Checks read only the window (two keep one
+    window of history in a closure), making equal-seed runs produce
+    identical edge sequences. *)
+
+type outcome = Ok | Breach of string  (** [Breach detail] *)
+
+type spec = {
+  name : string;
+  help : string;
+  fire_after : int;  (** consecutive breaching windows before firing *)
+  clear_after : int;  (** consecutive clean windows before clearing *)
+  check : Slo.window -> outcome;
+}
+
+type t
+(** A rule instance: spec plus hysteresis state. *)
+
+type edge = [ `Fire | `Clear ]
+
+val make : spec -> t
+(** Raises [Invalid_argument] unless [fire_after] and [clear_after] are
+    both >= 1. *)
+
+val name : t -> string
+val help : t -> string
+val firing : t -> bool
+
+val step : t -> Slo.window -> (edge * string) option
+(** Evaluate one window; [Some] only on a state transition, carrying
+    the breach detail (on [`Fire]) or ["recovered"] (on [`Clear]). *)
+
+(** {1 Built-in checks}
+
+    Constructors return a {!spec}; rules with closure state
+    (rate-of-change, stall) are fresh per call, so build a new list per
+    monitor. Checks on absent metrics evaluate to [Ok]. *)
+
+val quantile_above :
+  ?fire_after:int ->
+  ?clear_after:int ->
+  name:string ->
+  metric:string ->
+  q:float ->
+  limit_ns:int ->
+  unit ->
+  spec
+(** Windowed quantile of a latency histogram above a band limit; clean
+    when the window recorded nothing. *)
+
+val rate_floor :
+  ?fire_after:int ->
+  ?clear_after:int ->
+  name:string ->
+  metric:string ->
+  min_per_s:float ->
+  unit ->
+  spec
+(** Counter (or histogram-count) rate below a floor, in events per
+    virtual second. *)
+
+val rate_ceiling :
+  ?fire_after:int ->
+  ?clear_after:int ->
+  name:string ->
+  metric:string ->
+  max_per_s:float ->
+  unit ->
+  spec
+
+val gauge_above :
+  ?fire_after:int ->
+  ?clear_after:int ->
+  name:string ->
+  metric:string ->
+  agg:Slo.agg ->
+  limit:float ->
+  unit ->
+  spec
+
+val rate_jump :
+  ?fire_after:int ->
+  ?clear_after:int ->
+  name:string ->
+  metric:string ->
+  factor:float ->
+  unit ->
+  spec
+(** Rate of change: this window's delta exceeds [factor] x the previous
+    window's non-zero delta. *)
+
+val leader_flap :
+  ?fire_after:int -> ?clear_after:int -> ?max_elections:int -> unit -> spec
+(** More than [max_elections] (default 1) elections in one window. *)
+
+val quorum_loss : ?fire_after:int -> ?clear_after:int -> unit -> spec
+(** [mu_quorum_lost] raised on any replica — a degraded leader. *)
+
+val quorum_stall : ?fire_after:int -> ?clear_after:int -> unit -> spec
+(** Cluster-wide first-undecided-offset not advancing across windows
+    (while non-zero). Default [fire_after] 3. A finished run keeps this
+    breaching at the tail — deterministic, and what a commit-progress
+    watchdog should say about a cluster that stopped. *)
+
+val rejoin_lag : ?fire_after:int -> ?clear_after:int -> unit -> spec
+(** A restart begun ([mu_restarts_total]) with no matching log parity
+    ([mu_rejoin_time_to_parity_ns] count) for [fire_after] (default 2)
+    consecutive windows. *)
+
+val defaults : unit -> spec list
+(** The standard rule set: commit p50/p99 latency bands, commit-rate
+    floor, shed-rate ceiling, serving queue depth, replication-latency
+    burst, leader flap, quorum loss, quorum stall, rejoin lag. *)

@@ -213,7 +213,7 @@ let fill_responses t (r : Replica.t) idx reqs =
     Hashtbl.remove t.responses (r.Replica.id, idx);
     List.iter2
       (fun req resp ->
-        if Sim.Engine.Ivar.try_fill req.resp resp then
+        if Sim.Engine.Ivar.try_fill req.resp resp && req.prov <> 0 then
           Sim.Engine.span_close t.engine ~args:[ ("idx", string_of_int idx) ] req.prov)
       reqs resps
   | Some _ | None ->
@@ -299,7 +299,8 @@ let serve_pipelined t (r : Replica.t) =
   let restore_pending () =
     Queue.iter
       (fun slot ->
-        Sim.Engine.span_close t.engine ~args:[ ("outcome", "aborted") ] slot.bspan;
+        if slot.bspan <> 0 then
+          Sim.Engine.span_close t.engine ~args:[ ("outcome", "aborted") ] slot.bspan;
         requeue t slot.reqs)
       pending;
     Queue.clear pending
@@ -364,7 +365,9 @@ let serve_pipelined t (r : Replica.t) =
           if Sim.Engine.traced e then
             Sim.Engine.trace_counter e ~cat:"mu" ~pid:r.Replica.id "fuo"
               ~value:(head.idx + 1);
-          Sim.Engine.span_close t.engine ~args:[ ("outcome", "committed") ] head.bspan;
+          if head.bspan <> 0 then
+            Sim.Engine.span_close t.engine ~args:[ ("outcome", "committed") ]
+              head.bspan;
           fill_responses t r head.idx head.reqs;
           committed := true
         end
@@ -402,7 +405,8 @@ let serve_doorbell t (r : Replica.t) =
       (fun g ->
         List.iter
           (fun s ->
-            Sim.Engine.span_close t.engine ~args:[ ("outcome", "aborted") ] s.dspan;
+            if s.dspan <> 0 then
+              Sim.Engine.span_close t.engine ~args:[ ("outcome", "aborted") ] s.dspan;
             requeue t s.dreqs)
           g.slots)
       pending;
@@ -498,7 +502,9 @@ let serve_doorbell t (r : Replica.t) =
               ~value:(head.first + head.count);
           List.iter
             (fun s ->
-              Sim.Engine.span_close t.engine ~args:[ ("outcome", "committed") ] s.dspan;
+              if s.dspan <> 0 then
+                Sim.Engine.span_close t.engine ~args:[ ("outcome", "committed") ]
+                  s.dspan;
               fill_responses t r s.didx s.dreqs)
             head.slots;
           committed := true
@@ -525,7 +531,18 @@ let leader_service t (r : Replica.t) =
     | Some d ->
       t.degraded_windows <- t.degraded_windows + 1;
       t.degraded_total_ns <- t.degraded_total_ns + d;
-      (match r.Replica.tel with Some tel -> Telem.degraded_ns tel d | None -> ())
+      (match r.Replica.tel with
+      | Some tel ->
+        Telem.degraded_ns tel d;
+        Telem.set_quorum_lost tel false
+      | None -> ())
+  in
+  let enter_degraded () =
+    if not (Recovery.Degrade.active deg) then
+      (match r.Replica.tel with
+      | Some tel -> Telem.set_quorum_lost tel true
+      | None -> ());
+    Recovery.Degrade.enter deg ~now:(Sim.Engine.now t.engine)
   in
   let rec loop () =
     if r.Replica.stop || r.Replica.removed then ()
@@ -535,8 +552,7 @@ let leader_service t (r : Replica.t) =
          Sim.Host.idle r.Replica.host c.Sim.Calibration.fd_read_interval
        end
        else if r.Replica.need_new_followers then begin
-         if establish t r then close_degraded ()
-         else Recovery.Degrade.enter deg ~now:(Sim.Engine.now t.engine)
+         if establish t r then close_degraded () else enter_degraded ()
        end
        else if doorbell then serve_doorbell t r
        else if pipelined then serve_pipelined t r
@@ -972,6 +988,7 @@ let restart_fiber t id =
   then () (* already running, or a restart is already in flight *)
   else begin
     Hashtbl.replace t.restarting id ();
+    (match old_r.Replica.tel with Some tel -> Telem.restart tel | None -> ());
     let e = t.engine in
     let t0 = Sim.Engine.now e in
     let span =

@@ -17,6 +17,13 @@ type t = {
   catch_up_entries : Telemetry.Registry.counter;
   shed_requests : Telemetry.Registry.counter;
   degraded : Telemetry.Hdr.t;
+  (* Online-detection instruments: [degraded] only records once a window
+     *closes*, and catch-up totals only land at parity, so the monitor
+     needs live edges — a gauge raised while quorum is lost and a counter
+     bumped when a restart begins (rejoin-in-flight = restarts minus
+     completed parities). *)
+  quorum_lost : Telemetry.Registry.gauge;
+  restarts : Telemetry.Registry.counter;
   batch_occupancy : Telemetry.Hdr.t;
   (* mu_score gauges are per (replica, peer); peers are discovered as
      the failure detector first reads them. *)
@@ -68,6 +75,14 @@ let create reg ~id =
       Telemetry.Registry.histogram reg
         ~help:"Duration of leader degraded-mode windows (quorum lost)" ~labels
         "mu_degraded_ns";
+    quorum_lost =
+      Telemetry.Registry.gauge reg
+        ~help:"1 while this leader is in a degraded (quorum-lost) window" ~labels
+        "mu_quorum_lost";
+    restarts =
+      Telemetry.Registry.counter reg
+        ~help:"Host restarts begun (a rejoin is in flight until log parity)" ~labels
+        "mu_restarts_total";
     batch_occupancy =
       Telemetry.Registry.histogram reg
         ~help:"Requests coalesced per committed log entry (batch occupancy)" ~labels
@@ -108,4 +123,6 @@ let catch_up t n =
 
 let shed t = Telemetry.Registry.Counter.inc t.shed_requests
 let degraded_ns t ns = Telemetry.Hdr.record t.degraded ns
+let set_quorum_lost t on = Telemetry.Registry.Gauge.set t.quorum_lost (if on then 1 else 0)
+let restart t = Telemetry.Registry.Counter.inc t.restarts
 let batch_occupancy t n = Telemetry.Hdr.record t.batch_occupancy n

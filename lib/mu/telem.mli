@@ -44,6 +44,19 @@ val catch_up : t -> int -> unit
 val shed : t -> unit
 val degraded_ns : t -> int -> unit
 
+(** {1 Online-detection edges}
+
+    [degraded_ns] and [catch_up]/[rejoin_parity_ns] only record once a
+    window closes or parity is reached, which is useless to a live
+    monitor. [set_quorum_lost] raises/clears
+    [mu_quorum_lost{replica}] at the degraded-window edges, and
+    [restart] bumps [mu_restarts_total{replica}] the moment a restart
+    begins, so rejoin-in-flight is observable as restarts minus
+    completed parities. *)
+
+val set_quorum_lost : t -> bool -> unit
+val restart : t -> unit
+
 val batch_occupancy : t -> int -> unit
 (** Record the number of requests coalesced into one committed log
     entry ([mu_batch_occupancy{replica}] — a count histogram, not a

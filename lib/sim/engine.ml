@@ -18,8 +18,11 @@ type t = {
   mutable prov : bool;
   mutable next_span : int;
   span_stacks : (int, int list ref) Hashtbl.t; (* fiber id -> open span stack *)
-  (* Telemetry: absent by default, so instrumented sites cost one option
-     check. Handles are resolved once in [set_metrics]. *)
+  (* Telemetry: absent by default. [tel_on] is the flat-bool guard the
+     hot loop checks before touching any handle, so a metrics-off run
+     costs one load per event and allocates nothing. Handles are
+     resolved once in [set_metrics]. *)
+  mutable tel_on : bool;
   mutable reg : Telemetry.Registry.t option;
   mutable tel_events : Telemetry.Registry.counter option;
   mutable tel_depth : Telemetry.Registry.gauge option;
@@ -51,6 +54,7 @@ let create ?(seed = 1L) () =
     prov = false;
     next_span = 0;
     span_stacks = Hashtbl.create 64;
+    tel_on = false;
     reg = None;
     tel_events = None;
     tel_depth = None;
@@ -66,6 +70,7 @@ let pending_events t = Heap.length t.events
 (* Telemetry ------------------------------------------------------------ *)
 
 let set_metrics t reg =
+  t.tel_on <- true;
   t.reg <- Some reg;
   t.tel_events <-
     Some (Telemetry.Registry.counter reg ~help:"Events executed by the engine" "sim_events_total");
@@ -113,8 +118,12 @@ let trace_async_begin t ?cat ?pid ?args ~id name =
 let trace_async_end t ?cat ?pid ?args ~id name =
   emit t ~kind:Probe.Async_end ?cat ?pid ~id ?args name
 
+(* The [~args] list (and its [string_of_int]) must only be built once a
+   sink is known to exist — counters sit on the commit hot path and an
+   untraced run must not allocate here. *)
 let trace_counter t ?cat ?pid name ~value =
-  emit t ~kind:Probe.Counter ?cat ?pid ~args:[ ("value", string_of_int value) ] name
+  if Probe.enabled t.probe then
+    emit t ~kind:Probe.Counter ?cat ?pid ~args:[ ("value", string_of_int value) ] name
 
 let trace_meta_process t ~pid name = emit t ~kind:Probe.Meta_process ~pid ~tid:0 name
 let trace_meta_thread t ~pid ~tid name = emit t ~kind:Probe.Meta_thread ~pid ~tid name
@@ -203,7 +212,10 @@ let with_span t ?pid ?args name f =
       (fun () -> f id)
   end
 
-let span_scope t ?pid ?args name f = with_span t ?pid ?args name (fun _ -> f ())
+(* Short-circuit before wrapping [f]: the closure below must not be
+   built when provenance is off — this runs on the fiber hot path. *)
+let span_scope t ?pid ?args name f =
+  if not (provenance_on t) then f () else with_span t ?pid ?args name (fun _ -> f ())
 
 let schedule t ~at thunk =
   let at = if at < t.now then t.now else at in
@@ -221,7 +233,8 @@ let suspend register = Effect.perform (Suspend register)
 
 let spawn t ?(name = "fiber") ?(pid = -1) f =
   t.next_fiber <- t.next_fiber + 1;
-  (match t.tel_fibers with Some c -> Telemetry.Registry.Counter.inc c | None -> ());
+  if t.tel_on then
+    (match t.tel_fibers with Some c -> Telemetry.Registry.Counter.inc c | None -> ());
   let fid = t.next_fiber in
   if traced t then begin
     trace_meta_thread t ~pid ~tid:fid name;
@@ -285,13 +298,14 @@ let run ?until t =
         | None -> ()
         | Some thunk ->
           t.now <- at;
-          (match t.tel_events with
-          | Some c ->
-            Telemetry.Registry.Counter.inc c;
-            (match t.tel_depth with
+          if t.tel_on then begin
+            (match t.tel_events with
+            | Some c -> Telemetry.Registry.Counter.inc c
+            | None -> ());
+            match t.tel_depth with
             | Some g -> Telemetry.Registry.Gauge.set g (Heap.length t.events)
-            | None -> ())
-          | None -> ());
+            | None -> ()
+          end;
           thunk ();
           loop ())
   in

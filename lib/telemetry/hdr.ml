@@ -126,6 +126,34 @@ let merge ~into src =
     if src.max_v > into.max_v then into.max_v <- src.max_v
   end
 
+let copy t = { t with counts = Array.copy t.counts }
+
+(* [diff ~since t] with both snapshots of the same monotonically-recorded
+   histogram: the distribution of values recorded after [since] was taken.
+   Min/max of the window are not recoverable from the cumulative snapshots,
+   so they come from the diffed buckets' bounds — within the usual bucket
+   error. *)
+let diff ~since t =
+  if t.precision <> since.precision then invalid_arg "Hdr.diff: precision mismatch";
+  let d = create ~precision:t.precision () in
+  ensure_capacity d (Array.length t.counts - 1);
+  let total = ref 0 in
+  Array.iteri
+    (fun i c ->
+      let before = if i < Array.length since.counts then since.counts.(i) else 0 in
+      let dc = c - before in
+      if dc > 0 then begin
+        d.counts.(i) <- dc;
+        total := !total + dc;
+        let lo, hi = bounds_of_index t i in
+        if lo < d.min_v then d.min_v <- lo;
+        if hi > d.max_v then d.max_v <- hi
+      end)
+    t.counts;
+  d.total <- !total;
+  d.sum <- (if !total = 0 then 0.0 else t.sum -. since.sum);
+  d
+
 let iter_buckets t f =
   Array.iteri
     (fun i c ->

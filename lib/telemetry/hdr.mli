@@ -36,6 +36,19 @@ val merge : into:t -> t -> unit
 (** Element-wise addition. Raises [Invalid_argument] on precision
     mismatch. Associative and commutative up to the resulting counts. *)
 
+val copy : t -> t
+(** Independent snapshot; further recording into either side does not
+    affect the other. *)
+
+val diff : since:t -> t -> t
+(** [diff ~since t], where [since] is an earlier {!copy} of the same
+    histogram: the distribution of the values recorded in between — the
+    windowed view the online monitor evaluates percentiles over.
+    Negative per-bucket deltas (not possible for true snapshots) clamp
+    to zero. Min/max derive from the diffed buckets' bounds, so they
+    carry the usual bucket error. Raises [Invalid_argument] on precision
+    mismatch. *)
+
 val iter_buckets : t -> (lo:int -> hi:int -> count:int -> unit) -> unit
 (** Non-empty buckets in ascending value order. *)
 

@@ -27,19 +27,25 @@ type epoch = {
 
 type series = { metric : Registry.metric; mutable epochs : epoch list (* newest first *) }
 
+type subscriber = now:int -> epoch:int -> (Registry.metric * float) list -> unit
+
 type t = {
   reg : Registry.t;
   interval : int;
   max_points : int;
   mutable eid : int;
   tbl : (string, series) Hashtbl.t;
+  mutable subs : subscriber list; (* reverse registration order *)
 }
 
 let create ?(max_points_per_epoch = 65_536) reg ~interval =
   if interval <= 0 then invalid_arg "Sampler.create: interval must be positive";
   if max_points_per_epoch < 16 then
     invalid_arg "Sampler.create: max_points_per_epoch must be >= 16";
-  { reg; interval; max_points = max_points_per_epoch; eid = -1; tbl = Hashtbl.create 64 }
+  { reg; interval; max_points = max_points_per_epoch; eid = -1; tbl = Hashtbl.create 64;
+    subs = [] }
+
+let subscribe t f = t.subs <- f :: t.subs
 
 let registry t = t.reg
 let interval t = t.interval
@@ -83,8 +89,15 @@ let append t ep ~now v =
 
 let tick t ~now =
   if t.eid < 0 then invalid_arg "Sampler.tick: no epoch started";
+  (* One registry scan per tick: the (metric, value) snapshot feeds both
+     the stored series and every subscriber, so window evaluators (the
+     monitor library) reuse the sampler's cadence instead of re-reading
+     the registry on their own. *)
+  let samples =
+    List.map (fun (m : Registry.metric) -> (m, value_of m)) (Registry.metrics t.reg)
+  in
   List.iter
-    (fun (m : Registry.metric) ->
+    (fun ((m : Registry.metric), v) ->
       let k = skey m in
       let s =
         match Hashtbl.find_opt t.tbl k with
@@ -103,8 +116,9 @@ let tick t ~now =
           e
       in
       ep.ticks <- ep.ticks + 1;
-      if (ep.ticks - 1) mod ep.stride = 0 then append t ep ~now (value_of m))
-    (Registry.metrics t.reg)
+      if (ep.ticks - 1) mod ep.stride = 0 then append t ep ~now v)
+    samples;
+  List.iter (fun f -> f ~now ~epoch:t.eid samples) (List.rev t.subs)
 
 let points ep = Array.init ep.n (fun i -> (ep.ts.(i), ep.vs.(i)))
 

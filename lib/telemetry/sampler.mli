@@ -39,6 +39,16 @@ val tick : t -> now:int -> unit
 (** Sample every registered metric at virtual time [now]. Raises
     [Invalid_argument] before the first {!start_epoch}. *)
 
+type subscriber = now:int -> epoch:int -> (Registry.metric * float) list -> unit
+
+val subscribe : t -> subscriber -> unit
+(** Called at the end of every {!tick} with the same (metric, value)
+    snapshot the sampler just stored — one registry scan serves both
+    the series store and every subscriber. Subscribers run in
+    registration order, in zero virtual time; online evaluators (the
+    monitor library) hook in here instead of re-reading the registry
+    on their own cadence. *)
+
 val series : t -> (Registry.metric * (int * (int * float) array) list) list
 (** All series, sorted by (name, labels); per series the epochs in
     ascending epoch order, each with its (virtual ts, value) samples in

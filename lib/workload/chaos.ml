@@ -106,12 +106,29 @@ let client_fiber e smr ~proc ~ops ~think ~keys ~history ~pending ~on_done =
   done;
   on_done ()
 
-let run ?trace ?(provenance = false) ?(clients = 4) ?(ops_per_client = 25)
-    ?(think = 0) ?(horizon = 2_000_000_000) ?(durable = true) ?(queue_limit = 0)
-    ~seed ~n scenario =
+let run ?trace ?metrics ?on_engine ?(provenance = false) ?(clients = 4)
+    ?(ops_per_client = 25) ?(think = 0) ?(horizon = 2_000_000_000)
+    ?(durable = true) ?(queue_limit = 0) ~seed ~n scenario =
   let e = Sim.Engine.create ~seed () in
   (match trace with Some tr -> Trace.Tracer.attach tr e | None -> ());
   if provenance then Sim.Engine.set_provenance e true;
+  (* Same shape as Experiments.run_sim: the sampler fiber ticks on
+     virtual time and dies with the engine; attaching it consumes no
+     PRNG, so the protocol schedule is unchanged. *)
+  (match metrics with
+  | Some sampler ->
+    Sim.Engine.set_metrics e (Telemetry.Sampler.registry sampler);
+    Telemetry.Sampler.start_epoch sampler;
+    let interval = Telemetry.Sampler.interval sampler in
+    Sim.Engine.spawn e ~name:"telemetry-sampler" (fun () ->
+        let rec loop () =
+          Telemetry.Sampler.tick sampler ~now:(Sim.Engine.now e);
+          Sim.Engine.sleep e interval;
+          loop ()
+        in
+        loop ())
+  | None -> ());
+  (match on_engine with Some f -> f e | None -> ());
   let cfg =
     {
       Mu.Config.default with

@@ -38,6 +38,8 @@ val pp_outcome : outcome Fmt.t
 
 val run :
   ?trace:Trace.Tracer.t ->
+  ?metrics:Telemetry.Sampler.t ->
+  ?on_engine:(Sim.Engine.t -> unit) ->
   ?provenance:bool ->
   ?clients:int ->
   ?ops_per_client:int ->
@@ -63,7 +65,12 @@ val run :
     replica's log with simulated NVM so [restart] events can recover it;
     [queue_limit] (default 0 = unbounded) bounds the leader's incoming
     queue — shed requests answer with {!Mu.Smr.retryable_error} and the
-    clients here back off and retry under the same invocation time. *)
+    clients here back off and retry under the same invocation time.
+    [metrics] attaches a telemetry sampler exactly as
+    {!Experiments.run_sim} does (new epoch, virtual-time tick fiber);
+    [on_engine] runs after the engine is fully configured but before the
+    cluster starts — the hook the online monitor attaches through. Both
+    consume no PRNG; the protocol schedule is unchanged. *)
 
 (** {1 Minimized repro} *)
 

@@ -5,11 +5,12 @@ type setup = {
   metrics : Telemetry.Sampler.t option;
   faults : Faults.Scenario.t option;
   provenance : bool;
+  on_engine : (Sim.Engine.t -> unit) option;
 }
 
 let default_setup =
   { seed = 42L; cal = Sim.Calibration.default; trace = None; metrics = None;
-    faults = None; provenance = false }
+    faults = None; provenance = false; on_engine = None }
 
 (* Inject the setup's fault scenario (if any) over a running Mu cluster;
    scenario host ids are replica ids. Experiments that build their own
@@ -48,6 +49,7 @@ let run_sim setup ?until f =
         in
         loop ())
   | None -> ());
+  (match setup.on_engine with Some f -> f e | None -> ());
   let result = ref None in
   Sim.Engine.spawn e ~name:"experiment" (fun () ->
       result := Some (f e);

@@ -28,6 +28,11 @@ type setup = {
           wrap each measured propose in a ["request"] span whose sync
           children partition the end-to-end latency. Off by default — a
           provenance-off run is byte-identical to the seed. *)
+  on_engine : (Sim.Engine.t -> unit) option;
+      (** When set, called on every engine {!run_sim} creates, after
+          tracer/provenance/metrics are attached and before the
+          experiment fiber spawns — the hook the online monitor attaches
+          through. Must not consume engine PRNG. *)
 }
 
 val default_setup : setup

@@ -27,4 +27,5 @@ let () =
       ("provenance", Test_provenance.suite);
       ("properties", Test_properties.suite);
       ("serving", Test_serving.suite);
+      ("monitor", Test_monitor.suite);
     ]

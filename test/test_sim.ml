@@ -483,6 +483,36 @@ let host_jitter_occurs () =
       let elapsed = Sim.Engine.now e - t0 in
       check "jitter added" true (elapsed > 110_000))
 
+let disabled_hooks_allocation_free () =
+  (* With no tracer attached, provenance off and no metrics registry,
+     every observability hook on the engine hot path must return without
+     allocating — the simulator pays for instrumentation only when it is
+     switched on. Measured as a [Gc.minor_words] delta over many calls;
+     the budget of a few words per thousand calls absorbs runtime noise
+     without hiding a per-call box. *)
+  (* Optional arguments ([~cat], [~args]) box a [Some] at the call site
+     before the callee's guard can run — which is why hot-path call
+     sites check [traced]/span-id themselves before building them. Here
+     we measure the bare hooks. *)
+  let e = Util.engine () in
+  let iters = 10_000 in
+  let body () = () in
+  (* warm-up: first calls may fault in lazy runtime structures *)
+  Sim.Engine.trace_counter e "ops" ~value:0;
+  Sim.Engine.trace_instant e "tick";
+  Sim.Engine.span_close e (Sim.Engine.span_open e "op");
+  Sim.Engine.span_scope e "op" body;
+  let w0 = Gc.minor_words () in
+  for i = 1 to iters do
+    Sim.Engine.trace_counter e "ops" ~value:i;
+    Sim.Engine.trace_instant e "tick";
+    Sim.Engine.span_close e (Sim.Engine.span_open e "op");
+    Sim.Engine.span_scope e "op" body
+  done;
+  let per_kilo = (Gc.minor_words () -. w0) /. float_of_int (iters / 1000) in
+  if per_kilo > 64.0 then
+    Alcotest.failf "disabled hooks allocated %.1f minor words per 1000 calls" per_kilo
+
 let suite =
   [
     ("rng deterministic", `Quick, rng_deterministic);
@@ -514,6 +544,7 @@ let suite =
     ("engine sleep", `Quick, engine_sleep);
     ("engine fiber crash propagates", `Quick, engine_fiber_crash_propagates);
     ("engine determinism", `Quick, engine_determinism);
+    ("disabled hooks allocation-free", `Quick, disabled_hooks_allocation_free);
     ("ivar basics", `Quick, ivar_basics);
     ("ivar blocks until filled", `Quick, ivar_blocks_until_filled);
     ("ivar multiple readers", `Quick, ivar_multiple_readers);

@@ -177,6 +177,62 @@ let sampler_decimation_cap () =
     check_str "decimation deterministic" (T.Export.series_csv s) (T.Export.series_csv s')
   | _ -> Alcotest.fail "expected 1 series with 1 epoch"
 
+let sampler_subscribe () =
+  (* Subscribers see the same snapshot the series store records, in
+     registration order, tagged with the tick's virtual time and epoch. *)
+  let reg = T.Registry.create () in
+  let g = T.Registry.gauge reg "depth" in
+  let c = T.Registry.counter reg "ops_total" in
+  let s = T.Sampler.create reg ~interval:1_000 in
+  let seen = ref [] in
+  T.Sampler.subscribe s (fun ~now ~epoch samples ->
+      seen := ("a", now, epoch, samples) :: !seen);
+  T.Sampler.subscribe s (fun ~now:_ ~epoch:_ _ -> seen := ("b", 0, 0, []) :: !seen);
+  T.Sampler.start_epoch s;
+  T.Registry.Gauge.set g 5;
+  T.Registry.Counter.add c 3;
+  T.Sampler.tick s ~now:2_000;
+  (match List.rev !seen with
+  | [ ("a", now, epoch, samples); ("b", _, _, _) ] ->
+    check_int "now" 2_000 now;
+    check_int "epoch" 0 epoch;
+    let value name =
+      let m, v =
+        List.find (fun ((m : T.Registry.metric), _) -> m.name = name) samples
+      in
+      ignore m;
+      int_of_float v
+    in
+    check_int "counter sampled" 3 (value "ops_total");
+    check_int "gauge sampled" 5 (value "depth")
+  | l -> Alcotest.failf "expected callbacks a then b, got %d" (List.length l));
+  (* a subscriber added mid-run starts receiving on the next tick *)
+  let late = ref 0 in
+  T.Sampler.subscribe s (fun ~now:_ ~epoch:_ _ -> incr late);
+  T.Sampler.tick s ~now:3_000;
+  check_int "late subscriber called once" 1 !late
+
+let hdr_copy_diff () =
+  let h = T.Hdr.create () in
+  T.Hdr.record h 100;
+  T.Hdr.record h 200;
+  let snap = T.Hdr.copy h in
+  T.Hdr.record h 50;
+  T.Hdr.record h 5_000;
+  (* the copy is insulated from later records *)
+  check_int "snapshot frozen" 2 (T.Hdr.count snap);
+  let w = T.Hdr.diff ~since:snap h in
+  check_int "window count" 2 (T.Hdr.count w);
+  Alcotest.(check (option int)) "window min" (Some 50) (T.Hdr.min_value w);
+  (match T.Hdr.max_value w with
+  | Some v -> check "window max ~5000" true (v >= 5_000 && v < 5_200)
+  | None -> Alcotest.fail "window max");
+  check "window sum" true (Float.abs (T.Hdr.sum w -. 5_050.0) < 1.0);
+  (* diff against an identical snapshot is empty *)
+  let z = T.Hdr.diff ~since:(T.Hdr.copy h) h in
+  check "empty diff" true (T.Hdr.is_empty z);
+  Alcotest.(check (option int)) "empty diff quantile" None (T.Hdr.quantile z 0.5)
+
 (* --- Exporters ------------------------------------------------------------ *)
 
 let build_reg () =
@@ -214,7 +270,7 @@ module E = Workload.Experiments
 
 let metrics_setup seed interval =
   let s = T.Sampler.create (T.Registry.create ()) ~interval in
-  ({ E.seed; cal = Util.default_cal; trace = None; metrics = Some s; faults = None; provenance = false }, s)
+  ({ E.seed; cal = Util.default_cal; trace = None; metrics = Some s; faults = None; provenance = false; on_engine = None }, s)
 
 let e2e_replication_instrumented () =
   let setup, smp = metrics_setup 42L 50_000 in
@@ -301,6 +357,8 @@ let suite =
     ("registry label canonicalisation", `Quick, registry_label_canonicalisation);
     ("sampler epochs", `Quick, sampler_epochs);
     ("sampler decimation cap", `Quick, sampler_decimation_cap);
+    ("sampler subscribe", `Quick, sampler_subscribe);
+    ("hdr copy and diff", `Quick, hdr_copy_diff);
     ("export deterministic", `Quick, export_deterministic);
     ("export prometheus shape", `Quick, export_prometheus_shape);
     ("e2e replication instrumented", `Quick, e2e_replication_instrumented);

@@ -167,7 +167,7 @@ module E = Workload.Experiments
 
 let run_traced_failover seed =
   let tr = Trace.Tracer.create () in
-  let setup = { E.seed; cal = Util.default_cal; trace = Some tr; metrics = None; faults = None; provenance = false } in
+  let setup = { E.seed; cal = Util.default_cal; trace = Some tr; metrics = None; faults = None; provenance = false; on_engine = None } in
   let (_ : E.failover_stats) = E.failover setup ~rounds:2 in
   tr
 
