@@ -1,7 +1,7 @@
 type t = {
   mutable now : int;
   mutable seq : int;
-  events : (unit -> unit) Heap.t;
+  events : (unit -> unit) Wheel.t;
   root_rng : Rng.t;
   mutable halted : bool;
   mutable running : bool;
@@ -41,7 +41,7 @@ let create ?(seed = 1L) () =
   {
     now = 0;
     seq = 0;
-    events = Heap.create ();
+    events = Wheel.create ();
     root_rng = Rng.create seed;
     halted = false;
     running = false;
@@ -65,7 +65,7 @@ let now t = t.now
 let rng t = t.root_rng
 let fabric t = t.fabric
 let nvm t = t.nvm
-let pending_events t = Heap.length t.events
+let pending_events t = Wheel.length t.events
 
 (* Telemetry ------------------------------------------------------------ *)
 
@@ -208,9 +208,17 @@ let with_span t ?pid ?args name f =
     Fun.protect
       ~finally:(fun () ->
         (match !stack with s :: rest when s = id -> stack := rest | _ -> ());
+        (* The finally runs in the opening fiber's segment, so
+           [t.cur_fiber] is the key [span_stack] registered the ref
+           under; dropping the entry when the stack empties keeps the
+           table bounded by fibers with an open span rather than by
+           every fiber that ever opened one. *)
+        if !stack = [] then Hashtbl.remove t.span_stacks t.cur_fiber;
         span_close t ?pid id)
       (fun () -> f id)
   end
+
+let span_stacks_live t = Hashtbl.length t.span_stacks
 
 (* Short-circuit before wrapping [f]: the closure below must not be
    built when provenance is off — this runs on the fiber hot path. *)
@@ -220,14 +228,16 @@ let span_scope t ?pid ?args name f =
 let schedule t ~at thunk =
   let at = if at < t.now then t.now else at in
   t.seq <- t.seq + 1;
-  Heap.push t.events ~key:at ~seq:t.seq thunk
+  Wheel.push t.events ~key:at ~seq:t.seq thunk
 
 let schedule_after t delay thunk = schedule t ~at:(t.now + delay) thunk
 let halt t = t.halted <- true
 
 (* Fibers -------------------------------------------------------------- *)
 
-type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+type _ Effect.t +=
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Sleep : int -> unit Effect.t
 
 let suspend register = Effect.perform (Suspend register)
 
@@ -243,15 +253,9 @@ let spawn t ?(name = "fiber") ?(pid = -1) f =
   (* Fiber identity is tracked across suspensions so probe events emitted
      from inside a segment carry the right (pid, tid) by default. A segment
      runs to completion before any other event fires, so save/restore
-     around each segment is exact. *)
-  let enter () =
-    t.cur_fiber <- fid;
-    t.cur_pid <- pid
-  in
-  let leave () =
-    t.cur_fiber <- 0;
-    t.cur_pid <- -1
-  in
+     around each segment is exact; the restore is inlined (rather than a
+     [Fun.protect ~finally] pair) so a resume costs one event closure and
+     nothing else. *)
   let handler : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> ());
@@ -259,6 +263,29 @@ let spawn t ?(name = "fiber") ?(pid = -1) f =
       effc =
         (fun (type b) (eff : b Effect.t) ->
           match eff with
+          | Sleep d ->
+            (* [sleep] keeps the same two-event shape as the generic path
+               below — a timer event that then re-queues the continuation
+               behind everything already due at the wake instant — so the
+               event sequence (and therefore any same-seed trace) is
+               byte-identical to the [suspend]-based implementation it
+               replaces. What it saves is the register/resume closure
+               pair and the one-shot guard per call. *)
+            Some
+              (fun (k : (b, _) Effect.Deep.continuation) ->
+                if traced t then trace_instant t "fiber_park";
+                schedule t ~at:(t.now + d) (fun () ->
+                    schedule t ~at:t.now (fun () ->
+                        t.cur_fiber <- fid;
+                        t.cur_pid <- pid;
+                        match Effect.Deep.continue k () with
+                        | () ->
+                          t.cur_fiber <- 0;
+                          t.cur_pid <- -1
+                        | exception e ->
+                          t.cur_fiber <- 0;
+                          t.cur_pid <- -1;
+                          raise e)))
           | Suspend register ->
             Some
               (fun (k : (b, _) Effect.Deep.continuation) ->
@@ -268,18 +295,34 @@ let spawn t ?(name = "fiber") ?(pid = -1) f =
                   if !resumed then invalid_arg "Engine: fiber resumed twice";
                   resumed := true;
                   schedule t ~at:t.now (fun () ->
-                      enter ();
-                      Fun.protect ~finally:leave (fun () -> Effect.Deep.continue k v))
+                      t.cur_fiber <- fid;
+                      t.cur_pid <- pid;
+                      match Effect.Deep.continue k v with
+                      | () ->
+                        t.cur_fiber <- 0;
+                        t.cur_pid <- -1
+                      | exception e ->
+                        t.cur_fiber <- 0;
+                        t.cur_pid <- -1;
+                        raise e)
                 in
                 register resume)
           | _ -> None);
     }
   in
   schedule t ~at:t.now (fun () ->
-      enter ();
-      Fun.protect ~finally:leave (fun () -> Effect.Deep.match_with f () handler))
+      t.cur_fiber <- fid;
+      t.cur_pid <- pid;
+      match Effect.Deep.match_with f () handler with
+      | () ->
+        t.cur_fiber <- 0;
+        t.cur_pid <- -1
+      | exception e ->
+        t.cur_fiber <- 0;
+        t.cur_pid <- -1;
+        raise e)
 
-let sleep t delay = suspend (fun resume -> schedule_after t delay (fun () -> resume ()))
+let sleep (_ : t) delay = Effect.perform (Sleep delay)
 let yield t = sleep t 0
 
 let run ?until t =
@@ -288,28 +331,36 @@ let run ?until t =
   t.halted <- false;
   let limit = match until with None -> max_int | Some u -> u in
   let rec loop () =
-    if t.halted then ()
-    else
-      match Heap.peek_key t.events with
-      | None -> ()
-      | Some (at, _) when at > limit -> t.now <- limit
-      | Some (at, _) -> (
-        match Heap.pop t.events with
-        | None -> ()
-        | Some thunk ->
-          t.now <- at;
-          if t.tel_on then begin
-            (match t.tel_events with
-            | Some c -> Telemetry.Registry.Counter.inc c
-            | None -> ());
-            match t.tel_depth with
-            | Some g -> Telemetry.Registry.Gauge.set g (Heap.length t.events)
-            | None -> ()
-          end;
-          thunk ();
-          loop ())
+    if not t.halted then begin
+      let at = Wheel.next_key t.events in
+      if at = max_int then () (* queue drained *)
+      else if at > limit then t.now <- limit
+      else begin
+        let thunk = Wheel.pop_exn t.events in
+        t.now <- at;
+        if t.tel_on then begin
+          (match t.tel_events with
+          | Some c -> Telemetry.Registry.Counter.inc c
+          | None -> ());
+          match t.tel_depth with
+          | Some g -> Telemetry.Registry.Gauge.set g (Wheel.length t.events)
+          | None -> ()
+        end;
+        thunk ();
+        loop ()
+      end
+    end
   in
-  Fun.protect ~finally:(fun () -> t.running <- false) loop
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+      loop ();
+      (* [run ~until] returning normally means the engine observed all of
+         virtual time up to [limit]; advance the clock even when the queue
+         drained early so back-to-back [run ~until] calls see a consistent
+         monotone clock. A {!halt}ed run stops at the halting event's
+         time. *)
+      if (not t.halted) && limit <> max_int && t.now < limit then t.now <- limit)
 
 (* Ivar ----------------------------------------------------------------- *)
 
@@ -346,40 +397,108 @@ end
 
 module Chan = struct
   (* A waiter is "done" once either a value was delivered to it or its
-     timeout fired; both paths race and the flag makes them one-shot. *)
-  type 'a waiter = { mutable finished : bool; deliver : 'a -> unit }
-  type 'a chan = { engine : t; items : 'a Queue.t; waiters : 'a waiter Queue.t }
+     timeout fired; both paths race and the flag makes them one-shot.
 
-  let create engine = { engine; items = Queue.create (); waiters = Queue.create () }
+     Cells are mutable and recycled through a per-channel free list so a
+     steady-state recv/send (or recv_timeout/send) cycle reuses one cell
+     instead of allocating a record plus a [Queue] node each time. The
+     waiter queue is an intrusive FIFO threaded through [next], with a
+     per-channel sentinel [nil] standing for both "end of list" and
+     "empty free list". Recycling discipline: a cell goes back on the
+     free list only once nothing else can reach it — on dequeue for
+     finished (timed-out) cells, and at the timer for cells whose value
+     arrived before the timeout (the timer closure is the last reference
+     then). A timed-out cell parked in the waiter queue is reclaimed by
+     the next [wake_one] that walks past it. *)
+  type 'a waiter = {
+    mutable finished : bool;
+    mutable has_timer : bool;
+    mutable deliver : 'a -> unit;
+    mutable next : 'a waiter;
+  }
+
+  type 'a chan = {
+    engine : t;
+    items : 'a Queue.t;
+    nil : 'a waiter;
+    mutable w_head : 'a waiter;
+    mutable w_tail : 'a waiter;
+    mutable free : 'a waiter;
+  }
+
+  let create engine =
+    let rec nil = { finished = true; has_timer = false; deliver = ignore; next = nil } in
+    { engine; items = Queue.create (); nil; w_head = nil; w_tail = nil; free = nil }
+
+  let enqueue_waiter c w =
+    w.next <- c.nil;
+    if c.w_head == c.nil then c.w_head <- w else c.w_tail.next <- w;
+    c.w_tail <- w
+
+  (* Returns [c.nil] when no waiter is queued. *)
+  let dequeue_waiter c =
+    let w = c.w_head in
+    if w != c.nil then begin
+      c.w_head <- w.next;
+      if c.w_head == c.nil then c.w_tail <- c.nil;
+      w.next <- c.nil
+    end;
+    w
+
+  let recycle c w =
+    w.deliver <- ignore;
+    (* drop the continuation *)
+    w.has_timer <- false;
+    w.next <- c.free;
+    c.free <- w
+
+  let alloc_waiter c ~has_timer deliver =
+    let w = c.free in
+    if w == c.nil then { finished = false; has_timer; deliver; next = c.nil }
+    else begin
+      c.free <- w.next;
+      w.next <- c.nil;
+      w.finished <- false;
+      w.has_timer <- has_timer;
+      w.deliver <- deliver;
+      w
+    end
 
   let rec wake_one c v =
-    match Queue.take_opt c.waiters with
-    | None -> Queue.push v c.items
-    | Some w ->
-      if w.finished then wake_one c v
-      else begin
-        w.finished <- true;
-        w.deliver v
-      end
+    let w = dequeue_waiter c in
+    if w == c.nil then Queue.push v c.items
+    else if w.finished then begin
+      (* Timed out earlier: its timer already fired, and it just left the
+         waiter queue, so nothing references it any more. *)
+      recycle c w;
+      wake_one c v
+    end
+    else begin
+      w.finished <- true;
+      let deliver = w.deliver in
+      (* A cell with a pending timer is still referenced by the timer
+         closure; the timer recycles it when it fires. *)
+      if not w.has_timer then recycle c w;
+      deliver v
+    end
 
   let send c v = wake_one c v
 
   let recv c =
     match Queue.take_opt c.items with
     | Some v -> v
-    | None ->
-      suspend (fun resume ->
-          Queue.push { finished = false; deliver = resume } c.waiters)
+    | None -> suspend (fun resume -> enqueue_waiter c (alloc_waiter c ~has_timer:false resume))
 
   let recv_timeout c timeout =
     match Queue.take_opt c.items with
     | Some v -> Some v
     | None ->
       suspend (fun resume ->
-          let w = { finished = false; deliver = (fun v -> resume (Some v)) } in
-          Queue.push w c.waiters;
+          let w = alloc_waiter c ~has_timer:true (fun v -> resume (Some v)) in
+          enqueue_waiter c w;
           schedule_after c.engine timeout (fun () ->
-              if not w.finished then begin
+              if w.finished then recycle c w (* value won the race; timer owns the cell *)
+              else begin
                 w.finished <- true;
                 resume None
               end))

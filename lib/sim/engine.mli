@@ -47,7 +47,12 @@ val spawn : t -> ?name:string -> ?pid:int -> (unit -> unit) -> unit
 
 val run : ?until:int -> t -> unit
 (** Execute events until the queue is empty, [until] is reached, or
-    {!halt}. Re-entrant calls are not allowed. *)
+    {!halt}. On normal return with [~until], {!now} is [until] even if
+    the queue drained early — the engine has observed all of virtual
+    time up to the limit, so back-to-back [run ~until] calls see a
+    consistent monotone clock. After {!halt} (or an exception), {!now}
+    stays at the last executed event. Re-entrant calls are not
+    allowed. *)
 
 val halt : t -> unit
 (** Stop {!run} after the current event. *)
@@ -162,6 +167,11 @@ val with_span : t -> ?pid:int -> ?args:(string * string) list -> string -> (int 
 
 val span_scope : t -> ?pid:int -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** {!with_span} when the body does not need the span id. *)
+
+val span_stacks_live : t -> int
+(** Number of fibers with an open {!with_span} stack — bounded by live
+    fibers, not by fibers ever created (exposed for leak regression
+    tests). *)
 
 (** {1 Fiber operations} — valid only inside a fiber body. *)
 

@@ -2,7 +2,13 @@
 
     Elements are ordered by an integer key with an integer tiebreaker
     (insertion sequence), giving deterministic FIFO order among events
-    scheduled for the same instant. *)
+    scheduled for the same instant.
+
+    The implementation keeps keys, sequence numbers and payloads in
+    parallel arrays: a push/pop cycle allocates nothing beyond amortised
+    array growth, and popped slots are cleared immediately so a payload
+    (e.g. an event closure and everything it captures) never stays
+    reachable from the heap after it has been removed. *)
 
 type 'a t
 
@@ -14,6 +20,22 @@ val push : 'a t -> key:int -> seq:int -> 'a -> unit
 
 val peek_key : 'a t -> (int * int) option
 (** Key and sequence of the minimum element, if any. *)
+
+val top_key : 'a t -> int
+(** Key of the minimum element; [max_int] when empty. Allocation-free
+    companion to {!peek_key} for hot loops. *)
+
+val top_seq : 'a t -> int
+(** Sequence of the minimum element; [max_int] when empty. *)
+
+val top : 'a t -> 'a
+(** The minimum element without removing it. Raises [Invalid_argument]
+    when empty. *)
+
+val drop : 'a t -> unit
+(** Remove the minimum element (clearing its slot). Raises
+    [Invalid_argument] when empty. [top] followed by [drop] is the
+    allocation-free equivalent of {!pop}. *)
 
 val pop : 'a t -> 'a option
 (** Remove and return the minimum element. *)

@@ -1,0 +1,241 @@
+(* Hierarchical timing-wheel event queue.
+
+   Four levels of 256 slots over 1-ns ticks cover a 2^32 ns horizon;
+   level [l] holds events whose key agrees with the wheel clock [now]
+   on every bit above [8*(l+1)] but differs somewhere in bits
+   [8*l .. 8*(l+1)-1] (test: [key lxor now < 1 lsl (8*(l+1))]). Events
+   beyond the horizon wait in an overflow min-heap and are drained into
+   the wheel when the clock reaches their 2^32-aligned region; events
+   pushed behind [now] (possible after a peek advanced the wheel past a
+   [run ~until] limit) go to a small "past" heap that always pops first.
+
+   Determinism. Pops leave in exact ascending [(key, seq)] order — the
+   same total order as the binary heap this structure replaced — by
+   construction rather than by sorting:
+   - a level-0 slot only ever holds one exact key between drains
+     (level 0 spans one 256-tick revolution, and the clock crosses a
+     revolution boundary only when level 0 is empty);
+   - a bucket is only appended to by (a) direct pushes, whose seq is
+     globally monotonic and therefore larger than anything already
+     queued, and (b) a single cascade from the level above, which
+     happens when the clock first enters the slot's span — before any
+     direct push can target it — and which preserves the source
+     bucket's insertion (= seq) order.
+   So every bucket is seq-sorted at all times and the front of the
+   current level-0 bucket is the global minimum.
+
+   Allocation. Buckets are parallel int/int/[Obj.t] arrays (grown
+   geometrically, never shrunk) and occupancy is a 1024-bit bitmap in
+   32-bit words, so a push/pop cycle allocates nothing. Payload slots
+   are overwritten with an immediate dummy the moment an event leaves
+   (pop, cascade, drain) — a retired event closure must not stay
+   reachable from the queue. The [Obj.t] payload arrays are created
+   with an immediate witness, so they are never flat float arrays;
+   [Obj.repr]/[Obj.obj] appear only at the typed API boundary. *)
+
+let bits = 8
+let slots = 1 lsl bits
+let mask = slots - 1
+let levels = 4
+let horizon = 1 lsl (bits * levels)
+let buckets = levels * slots
+let dummy : Obj.t = Obj.repr 0
+
+type 'a t = {
+  mutable now : int; (* every wheel event has key >= now *)
+  bkeys : int array array; (* bucket b = level*256 + slot *)
+  bseqs : int array array;
+  bvals : Obj.t array array;
+  sizes : int array;
+  occ : int array; (* occupancy bitmap, 32 bits per word *)
+  mutable cur : int; (* level-0 bucket being drained, -1 if none *)
+  mutable head : int; (* consumed prefix of [cur] *)
+  mutable count : int; (* events in the wheel proper *)
+  past : Obj.t Heap.t;
+  overflow : Obj.t Heap.t;
+}
+
+let create () =
+  {
+    now = 0;
+    bkeys = Array.make buckets [||];
+    bseqs = Array.make buckets [||];
+    bvals = Array.make buckets [||];
+    sizes = Array.make buckets 0;
+    occ = Array.make (buckets / 32) 0;
+    cur = -1;
+    head = 0;
+    count = 0;
+    past = Heap.create ();
+    overflow = Heap.create ();
+  }
+
+let length t = t.count + Heap.length t.past + Heap.length t.overflow
+let is_empty t = length t = 0
+
+let[@inline] set_bit t b = t.occ.(b lsr 5) <- t.occ.(b lsr 5) lor (1 lsl (b land 31))
+let[@inline] clear_bit t b = t.occ.(b lsr 5) <- t.occ.(b lsr 5) land lnot (1 lsl (b land 31))
+
+let grow_bucket t b =
+  let cap = Array.length t.bkeys.(b) in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let nkeys = Array.make ncap 0 in
+  let nseqs = Array.make ncap 0 in
+  let nvals = Array.make ncap dummy in
+  Array.blit t.bkeys.(b) 0 nkeys 0 t.sizes.(b);
+  Array.blit t.bseqs.(b) 0 nseqs 0 t.sizes.(b);
+  Array.blit t.bvals.(b) 0 nvals 0 t.sizes.(b);
+  t.bkeys.(b) <- nkeys;
+  t.bseqs.(b) <- nseqs;
+  t.bvals.(b) <- nvals
+
+(* Place an event already known to satisfy [now <= key < now + horizon
+   region] into its level/slot. Does not touch [count]. *)
+let place t ~key ~seq v =
+  let x = key lxor t.now in
+  let l =
+    if x < 1 lsl bits then 0
+    else if x < 1 lsl (2 * bits) then 1
+    else if x < 1 lsl (3 * bits) then 2
+    else 3
+  in
+  let b = (l * slots) + ((key lsr (l * bits)) land mask) in
+  let n = t.sizes.(b) in
+  if n = Array.length t.bkeys.(b) then grow_bucket t b;
+  t.bkeys.(b).(n) <- key;
+  t.bseqs.(b).(n) <- seq;
+  t.bvals.(b).(n) <- v;
+  t.sizes.(b) <- n + 1;
+  if n = 0 then set_bit t b
+
+let push t ~key ~seq value =
+  let v = Obj.repr value in
+  if key < t.now then Heap.push t.past ~key ~seq v
+  else if key lxor t.now >= horizon then Heap.push t.overflow ~key ~seq v
+  else begin
+    place t ~key ~seq v;
+    t.count <- t.count + 1
+  end
+
+(* First occupied slot of level [l] at index >= [from]; -1 if none. *)
+let scan t l from =
+  if from > mask then -1
+  else begin
+    let res = ref (-1) in
+    let b = ref ((l * slots) + from) in
+    let stop = (l * slots) + mask in
+    while !res < 0 && !b <= stop do
+      let rest = t.occ.(!b lsr 5) lsr (!b land 31) in
+      if rest = 0 then b := ((!b lsr 5) + 1) lsl 5 (* next word *)
+      else if rest land 1 = 1 then res := !b
+      else incr b
+    done;
+    if !res < 0 then -1 else !res - (l * slots)
+  end
+
+(* Move every event of bucket [b] (level >= 1) one or more levels down,
+   now that [t.now] sits at the start of the bucket's span. Preserves
+   per-target-bucket seq order because the source is traversed in
+   insertion order. *)
+let cascade t b =
+  let n = t.sizes.(b) in
+  t.sizes.(b) <- 0;
+  clear_bit t b;
+  let keys = t.bkeys.(b) and seqs = t.bseqs.(b) and vals = t.bvals.(b) in
+  for i = 0 to n - 1 do
+    let v = vals.(i) in
+    vals.(i) <- dummy;
+    place t ~key:keys.(i) ~seq:seqs.(i) v
+  done
+
+(* Advance to the next wheel event: leaves [cur]/[head] on its level-0
+   bucket with [t.now] equal to its key and returns [true]; returns
+   [false] when the wheel and overflow are both empty. *)
+let rec locate t =
+  if t.cur >= 0 && t.head < t.sizes.(t.cur) then true
+  else begin
+    if t.cur >= 0 then begin
+      (* fully drained: retire the bucket *)
+      t.sizes.(t.cur) <- 0;
+      clear_bit t t.cur;
+      t.cur <- -1;
+      t.head <- 0
+    end;
+    if t.count > 0 then begin
+      (* Level 0 holds only the current revolution, so scanning from
+         [now]'s slot (inclusive — a same-instant push may have refilled
+         it) forward is exhaustive. *)
+      let s0 = scan t 0 (t.now land mask) in
+      if s0 >= 0 then begin
+        t.now <- t.now land lnot mask lor s0;
+        t.cur <- s0;
+        t.head <- 0;
+        true
+      end
+      else begin
+        (* Current revolution exhausted: enter the next occupied span of
+           the closest level above, cascade it down, and rescan. The
+           slot holding [now] itself is never occupied at level >= 1
+           (its events would be lower-level by definition), hence the
+           strict [+ 1]. *)
+        let rec up l =
+          if l >= levels then invalid_arg "Wheel: occupancy out of sync"
+          else begin
+            let sl = scan t l (((t.now lsr (l * bits)) land mask) + 1) in
+            if sl < 0 then up (l + 1)
+            else begin
+              let keep = lnot ((1 lsl ((l + 1) * bits)) - 1) in
+              t.now <- t.now land keep lor (sl lsl (l * bits));
+              cascade t ((l * slots) + sl);
+              locate t
+            end
+          end
+        in
+        up 1
+      end
+    end
+    else if not (Heap.is_empty t.overflow) then begin
+      (* Wheel empty: jump to the overflow's earliest region and drain
+         everything that fits under the horizon from there. *)
+      t.now <- Heap.top_key t.overflow;
+      while
+        (not (Heap.is_empty t.overflow)) && Heap.top_key t.overflow lxor t.now < horizon
+      do
+        let key = Heap.top_key t.overflow and seq = Heap.top_seq t.overflow in
+        let v = Heap.top t.overflow in
+        Heap.drop t.overflow;
+        place t ~key ~seq v;
+        t.count <- t.count + 1
+      done;
+      locate t
+    end
+    else false
+  end
+
+let next_key t =
+  if Heap.length t.past > 0 then Heap.top_key t.past
+  else if locate t then t.now
+  else max_int
+
+let peek_key t =
+  if Heap.length t.past > 0 then Heap.peek_key t.past
+  else if locate t then Some (t.now, t.bseqs.(t.cur).(t.head))
+  else None
+
+let pop_exn t =
+  if Heap.length t.past > 0 then begin
+    let v = Heap.top t.past in
+    Heap.drop t.past;
+    (Obj.obj v : 'a)
+  end
+  else if locate t then begin
+    let b = t.cur and i = t.head in
+    let v = t.bvals.(b).(i) in
+    t.bvals.(b).(i) <- dummy;
+    t.head <- i + 1;
+    t.count <- t.count - 1;
+    (Obj.obj v : 'a)
+  end
+  else invalid_arg "Wheel.pop_exn: empty"
+
+let pop t = if is_empty t then None else Some (pop_exn t)

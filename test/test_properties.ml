@@ -353,6 +353,62 @@ let engine_event_order =
       in
       List.length fired = List.length times && ordered fired)
 
+(* Event-queue model test (PR 8): random push/pop interleavings checked
+   against a sorted-list reference, asserting the (key, seq) FIFO
+   tie-break total order and payload integrity. Runs the same op
+   sequence through both backends — the binary heap and the timing
+   wheel — so the wheel swap is provably order-preserving. Keys are
+   spread across four scales so the wheel's level-0 slots, upper
+   levels, far-future overflow heap (beyond the 2^32 horizon) and past
+   heap (pushes behind an advanced wheel clock) are all exercised.
+   Pushes use a globally monotonic seq, the contract the engine
+   provides and the wheel's bucket ordering relies on. *)
+let event_queue_matches_reference =
+  QCheck.Test.make ~name:"event queue matches sorted-list reference (heap and wheel)"
+    ~count:150
+    QCheck.(make Gen.(list_size (1 -- 150) (pair (0 -- 100) (0 -- 5))))
+    (fun ops ->
+      let run_backend push pop =
+        let reference = ref [] in
+        let seq = ref 0 in
+        let ok = ref true in
+        let do_pop () =
+          match pop () with
+          | None -> ok := !ok && !reference = []
+          | Some (k, s) ->
+            (match List.sort compare !reference with
+            | m :: _ -> ok := !ok && m = (k, s)
+            | [] -> ok := false);
+            reference := List.filter (fun x -> x <> (k, s)) !reference
+        in
+        List.iter
+          (fun (k, tag) ->
+            if tag >= 4 then do_pop ()
+            else begin
+              let key =
+                match tag with
+                | 0 -> k (* level 0 *)
+                | 1 -> k * 1_009 (* levels 1-2 *)
+                | 2 -> (k * 524_287) land 0xFFFFFF (* level 3 *)
+                | _ -> k * 1_000_003 * 4_096 (* overflow beyond 2^32 *)
+              in
+              incr seq;
+              push ~key ~seq:!seq (key, !seq);
+              reference := (key, !seq) :: !reference
+            end)
+          ops;
+        while !reference <> [] && !ok do
+          do_pop ()
+        done;
+        !ok
+      in
+      let heap = Sim.Heap.create () in
+      let wheel = Sim.Wheel.create () in
+      run_backend (fun ~key ~seq v -> Sim.Heap.push heap ~key ~seq v) (fun () ->
+          Sim.Heap.pop heap)
+      && run_backend (fun ~key ~seq v -> Sim.Wheel.push wheel ~key ~seq v) (fun () ->
+             Sim.Wheel.pop wheel))
+
 (* QP FIFO under randomized payload sizes and timing: writes posted on one
    QP always apply in order, so the last write's value persists and every
    completion arrives in posting order. *)
@@ -566,6 +622,7 @@ let suite =
       order_book_invariants;
       kv_matches_model;
       engine_event_order;
+      event_queue_matches_reference;
       run_determinism;
       qp_fifo_property;
       lock_service_matches_model;

@@ -242,6 +242,98 @@ let heap_interleaved () =
     end
   done
 
+(* --- Wheel ---------------------------------------------------------------- *)
+
+let wheel_ordering () =
+  let w = Sim.Wheel.create () in
+  let xs = [ (5, 'a'); (1, 'b'); (3, 'c'); (1, 'd'); (4, 'e') ] in
+  List.iteri (fun seq (k, v) -> Sim.Wheel.push w ~key:k ~seq v) xs;
+  let popped = List.init 5 (fun _ -> Option.get (Sim.Wheel.pop w)) in
+  Alcotest.(check (list char)) "sorted by key then seq" [ 'b'; 'd'; 'c'; 'e'; 'a' ] popped;
+  check "empty after" true (Sim.Wheel.is_empty w)
+
+let wheel_fifo_within_key () =
+  let w = Sim.Wheel.create () in
+  for i = 0 to 99 do
+    Sim.Wheel.push w ~key:7 ~seq:i i
+  done;
+  for i = 0 to 99 do
+    check_int "fifo" i (Option.get (Sim.Wheel.pop w))
+  done
+
+(* Random interleaving across key scales that exercise every internal
+   region: level-0 slots, upper levels, the far-future overflow heap
+   (keys beyond the 2^32 horizon) and the "past" heap (keys below a
+   clock the wheel already advanced past). *)
+let wheel_interleaved () =
+  let w = Sim.Wheel.create () in
+  let r = Sim.Rng.create 13L in
+  let reference = ref [] in
+  let seq = ref 0 in
+  for _ = 1 to 1000 do
+    if Sim.Rng.float r < 0.6 || Sim.Wheel.is_empty w then begin
+      let k =
+        match Sim.Rng.int r 4 with
+        | 0 -> Sim.Rng.int r 50
+        | 1 -> Sim.Rng.int r 100_000
+        | 2 -> Sim.Rng.int r 50_000_000
+        | _ -> (1 lsl 33) + Sim.Rng.int r 1_000_000
+      in
+      incr seq;
+      Sim.Wheel.push w ~key:k ~seq:!seq (k, !seq);
+      reference := (k, !seq) :: !reference
+    end
+    else begin
+      let k, s = Option.get (Sim.Wheel.pop w) in
+      let sorted = List.sort compare !reference in
+      Alcotest.(check (pair int int)) "pop is minimum" (List.hd sorted) (k, s);
+      reference := List.filter (fun x -> x <> (k, s)) !reference
+    end
+  done;
+  check_int "length agrees" (List.length !reference) (Sim.Wheel.length w)
+
+(* Regression (PR 8): a popped payload must be unreachable from the queue
+   the moment it leaves. The original heap moved the last entry to the
+   root but never cleared the vacated slot, so popped event closures —
+   and everything they capture — stayed reachable until overwritten. *)
+let heap_pop_releases_payload () =
+  let h = Sim.Heap.create () in
+  let w = Weak.create 1 in
+  let () =
+    let v = ref 42 in
+    Weak.set w 0 (Some v);
+    Sim.Heap.push h ~key:1 ~seq:1 v;
+    match Sim.Heap.pop h with
+    | Some r -> check_int "payload intact" 42 !r
+    | None -> Alcotest.fail "pop returned None"
+  in
+  Gc.full_major ();
+  let released = Weak.check w 0 in
+  (* keep the heap (and its backing arrays) alive across the check, or
+     the whole structure could be collected and mask a stale slot *)
+  check_int "heap empty" 0 (Sim.Heap.length h);
+  check "heap released popped payload" false released
+
+let wheel_pop_releases_payload () =
+  (* One near key (wheel bucket) and one far key (overflow heap): both
+     storage regions must clear their slots. *)
+  let t = Sim.Wheel.create () in
+  let w = Weak.create 2 in
+  let () =
+    let a = ref 1 and b = ref 2 in
+    Weak.set w 0 (Some a);
+    Weak.set w 1 (Some b);
+    Sim.Wheel.push t ~key:5 ~seq:1 a;
+    Sim.Wheel.push t ~key:(1 lsl 40) ~seq:2 b;
+    check_int "near first" 1 !(Sim.Wheel.pop_exn t);
+    check_int "far second" 2 !(Sim.Wheel.pop_exn t)
+  in
+  Gc.full_major ();
+  let near = Weak.check w 0 and far = Weak.check w 1 in
+  check_int "wheel empty" 0 (Sim.Wheel.length t);
+  check "wheel released near payload" false near;
+  check "wheel released far payload" false far
+
 (* --- Engine --------------------------------------------------------------- *)
 
 let engine_time_advances () =
@@ -276,6 +368,61 @@ let engine_until_limit () =
   check_int "clock at limit" 500 (Sim.Engine.now e);
   Sim.Engine.run e;
   check "runs after" true !ran
+
+(* Regression (PR 8): [run ~until] must advance the clock to the limit on
+   normal return even when the queue drains early — the engine has
+   observed all of virtual time up to the limit. Previously [now] was
+   only advanced when a pending event lay beyond the limit, so
+   back-to-back [run ~until] calls observed inconsistent clocks. *)
+let engine_until_empty_queue () =
+  let e = Util.engine () in
+  Sim.Engine.schedule e ~at:100 (fun () -> ());
+  Sim.Engine.run ~until:1_000 e;
+  check_int "clock at limit after queue drained" 1_000 (Sim.Engine.now e);
+  Sim.Engine.run ~until:2_000 e;
+  check_int "clock at limit with empty queue" 2_000 (Sim.Engine.now e)
+
+let engine_until_halt_keeps_clock () =
+  let e = Util.engine () in
+  Sim.Engine.schedule e ~at:100 (fun () -> Sim.Engine.halt e);
+  Sim.Engine.run ~until:1_000 e;
+  check_int "halt pins clock at the halting event" 100 (Sim.Engine.now e)
+
+(* Regression (PR 8): the provenance span-stack table must not retain an
+   entry per fiber that ever opened a span; entries are dropped when the
+   fiber's stack empties, keeping the table bounded by fibers with an
+   open span rather than growing for the lifetime of the run. *)
+let engine_span_stacks_bounded () =
+  let e = Util.engine () in
+  Sim.Probe.set_sink (Sim.Engine.probe e) (fun _ -> ());
+  Sim.Engine.set_provenance e true;
+  for i = 1 to 100 do
+    Sim.Engine.spawn e ~name:"spanner" (fun () ->
+        Sim.Engine.span_scope e "outer" (fun () ->
+            Sim.Engine.sleep e (10 * i);
+            Sim.Engine.span_scope e "inner" (fun () -> Sim.Engine.sleep e 5)))
+  done;
+  Sim.Engine.run e;
+  check_int "no span stacks survive their fibers" 0 (Sim.Engine.span_stacks_live e)
+
+(* Regression (PR 8): the sleep/resume path must stay within a minor-word
+   budget well below the 71 words/sleep the heap-backed engine spent
+   (boxed heap entries, per-resume closure pairs and [Fun.protect]
+   machinery). Metrics/trace off — the configuration the events/sec
+   baseline is defined on. *)
+let engine_resume_allocation_bounded () =
+  let e = Util.engine () in
+  for _ = 1 to 8 do
+    Sim.Engine.spawn e (fun () ->
+        for _ = 1 to 5_000 do
+          Sim.Engine.sleep e 100
+        done)
+  done;
+  let w0 = Gc.minor_words () in
+  Sim.Engine.run e;
+  let per_sleep = (Gc.minor_words () -. w0) /. 40_000.0 in
+  if per_sleep > 48.0 then
+    Alcotest.failf "sleep/resume path allocated %.1f minor words per sleep" per_sleep
 
 let engine_sleep () =
   let t = Util.run_fiber (fun e ->
@@ -538,9 +685,18 @@ let suite =
     ("heap ordering", `Quick, heap_ordering);
     ("heap fifo within key", `Quick, heap_fifo_within_key);
     ("heap interleaved", `Quick, heap_interleaved);
+    ("heap pop releases payload", `Quick, heap_pop_releases_payload);
+    ("wheel ordering", `Quick, wheel_ordering);
+    ("wheel fifo within key", `Quick, wheel_fifo_within_key);
+    ("wheel interleaved", `Quick, wheel_interleaved);
+    ("wheel pop releases payload", `Quick, wheel_pop_releases_payload);
     ("engine time advances", `Quick, engine_time_advances);
     ("engine same-time fifo", `Quick, engine_same_time_fifo);
     ("engine until limit", `Quick, engine_until_limit);
+    ("engine until empty queue", `Quick, engine_until_empty_queue);
+    ("engine until halt keeps clock", `Quick, engine_until_halt_keeps_clock);
+    ("engine span stacks bounded", `Quick, engine_span_stacks_bounded);
+    ("engine resume allocation bounded", `Quick, engine_resume_allocation_bounded);
     ("engine sleep", `Quick, engine_sleep);
     ("engine fiber crash propagates", `Quick, engine_fiber_crash_propagates);
     ("engine determinism", `Quick, engine_determinism);
