@@ -9,10 +9,18 @@
                                    [-- --results FILE] [-- --faults SCENARIO.json]
                                    [-- --history FILE | --no-history]
                                    [-- --git-rev REV] [-- --stamp S]
+                                   [-- --compare] [-- --compare-with FILE]
+                                   [-- --compare-report FILE]
 
    Every run appends one JSONL line (schema mu-bench-results/1, tagged with
    --git-rev / --stamp) to the history log so regressions are greppable
-   across commits; --no-history disables it. *)
+   across commits; --no-history disables it.
+
+   --compare diffs this run's deterministic fields against the last
+   history line (read before this run is appended) with per-field
+   tolerances (Profile.Compare) and exits nonzero on regression;
+   --compare-with substitutes an explicit baseline file (results JSON or
+   history JSONL), --compare-report writes the diff to a file. *)
 
 module E = Workload.Experiments
 
@@ -32,6 +40,9 @@ let git_rev = ref "unknown"
 let stamp = ref ""
 let faults_file : string option ref = ref None
 let faults : Faults.Scenario.t option ref = ref None
+let compare_flag = ref false
+let compare_with : string option ref = ref None
+let compare_report : string option ref = ref None
 let exit_code = ref 0
 
 let () =
@@ -78,6 +89,16 @@ let () =
       parse rest
     | "--faults" :: file :: rest ->
       faults_file := Some file;
+      parse rest
+    | "--compare" :: rest ->
+      compare_flag := true;
+      parse rest
+    | "--compare-with" :: file :: rest ->
+      compare_flag := true;
+      compare_with := Some file;
+      parse rest
+    | "--compare-report" :: file :: rest ->
+      compare_report := Some file;
       parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -743,6 +764,70 @@ let engine_speed () =
     (Printf.sprintf "%.2e events/s (floor 5e5)" rate);
   Fmt.pr "  check: events/s above generous floor: %s@." (if ok_rate then "OK" else "FAIL")
 
+(* --- Whole-run profiler ---------------------------------------------------- *)
+
+type profile_result = {
+  pr_rounds : int;
+  pr_span_ns : int;
+  pr_idle_ns : int;
+  pr_stacks : int;
+  pr_frames : int;
+  pr_selfcost : Monitor.Overhead.Attached.row list; (* volatile *)
+}
+
+let profile_result : profile_result option ref = ref None
+
+let profile_section () =
+  section "profile" "whole-run profiler: exact virtual-time attribution of a fail-over run";
+  Fmt.pr
+    "  The deterministic profiler (DESIGN.md \xc2\xa718) attributes every virtual@.\
+    \  nanosecond of a fail-over run to (host, fiber, provenance-span stack);@.\
+    \  the attributed buckets sum to the run's span exactly. Self-cost rows@.\
+    \  (what the observability layers cost the wall clock) are volatile.@.";
+  let attached = Monitor.Overhead.Attached.create ~clock:Unix.gettimeofday () in
+  let vts = ref [] in
+  let s =
+    {
+      (setup ()) with
+      E.provenance = true;
+      on_engine =
+        Some
+          (fun e ->
+            vts := Profile.Vt.attach e :: !vts;
+            Monitor.Overhead.Attached.attach attached e);
+    }
+  in
+  let rounds = scale 200 in
+  let _stats =
+    Monitor.Overhead.Attached.measure_run attached (fun () -> E.failover s ~rounds)
+  in
+  List.iter Profile.Vt.finish !vts;
+  let folded = Profile.Vt.folded !vts in
+  let total = Profile.Vt.total_ns folded in
+  let span = List.fold_left (fun a vt -> a + Profile.Vt.span_ns vt) 0 !vts in
+  let idle = List.fold_left (fun a vt -> a + Profile.Vt.idle_ns vt) 0 !vts in
+  let frames = List.length (Profile.Report.of_folded folded) in
+  profile_result :=
+    Some
+      {
+        pr_rounds = rounds;
+        pr_span_ns = span;
+        pr_idle_ns = idle;
+        pr_stacks = List.length folded;
+        pr_frames = frames;
+        pr_selfcost = Monitor.Overhead.Attached.report attached;
+      };
+  Fmt.pr "%a" (fun ppf -> Profile.Report.pp ~top:8 ppf) folded;
+  let ok = total = span in
+  record_check "profile_exact_attribution" ok
+    (Printf.sprintf "folded sum %d ns vs run span %d ns over %d rounds" total span rounds);
+  Fmt.pr "  check: attributed buckets sum exactly to the run span: %s@."
+    (if ok then "OK" else "FAIL");
+  Fmt.pr "  simulator self-cost (wall-clock, volatile):@.";
+  List.iter
+    (fun r -> Fmt.pr "    %a@." Monitor.Overhead.Attached.pp_row r)
+    (Monitor.Overhead.Attached.report attached)
+
 (* --- Bechamel microbenchmarks ------------------------------------------- *)
 
 let bechamel_suite () =
@@ -834,6 +919,7 @@ let () =
   if want "monitor" then monitor ();
   if want "observability" then observability ();
   if want "engine-speed" then engine_speed ();
+  if want "profile" then profile_section ();
   if want "bechamel" then bechamel_suite ();
   csv_flush "fig3.csv" ~header:"configuration,median_us,p1_us,p99_us";
   csv_flush "fig4.csv" ~header:"system,median_us,p1_us,p99_us";
@@ -997,6 +1083,29 @@ let () =
           (if s.es_heap_ops > 0.0 then s.es_wheel_ops /. s.es_heap_ops else 0.0)
           heap_baseline_events_per_sec heap_baseline_minor_words_per_event)
    | None -> Buffer.add_string b "null");
+   Buffer.add_string b ",\"profile\":";
+   (match !profile_result with
+   | Some p ->
+     (* span/idle/stacks/frames are virtual-time and deterministic per
+        seed; selfcost rows are wall-clock and volatile. *)
+     let selfcost =
+       String.concat ","
+         (List.map
+            (fun (r : Monitor.Overhead.Attached.row) ->
+              Printf.sprintf
+                "{\"layer\":\"%s\",\"events\":%d,\"sampled\":%d,\"wall_s\":%.6f,\
+                 \"minor_words\":%.0f}"
+                r.Monitor.Overhead.Attached.r_layer r.Monitor.Overhead.Attached.r_events
+                r.Monitor.Overhead.Attached.r_sampled r.Monitor.Overhead.Attached.r_wall_s
+                r.Monitor.Overhead.Attached.r_minor_words)
+            p.pr_selfcost)
+     in
+     Buffer.add_string b
+       (Printf.sprintf
+          "{\"mode\":\"failover\",\"rounds\":%d,\"span_ns\":%d,\"idle_ns\":%d,\
+           \"stacks\":%d,\"frames\":%d,\"selfcost\":[%s]}"
+          p.pr_rounds p.pr_span_ns p.pr_idle_ns p.pr_stacks p.pr_frames selfcost)
+   | None -> Buffer.add_string b "null");
    Buffer.add_string b ",\"checks\":[";
    List.iteri
      (fun i (name, ok, detail) ->
@@ -1010,6 +1119,54 @@ let () =
    output_string oc ("{\"schema\":\"mu-bench-results/1\"," ^ core ^ "}\n");
    close_out oc;
    Fmt.pr "@.Results written to %s@." !results_file;
+   (* Regression gate: diff this run against the baseline *before* the
+      history append below makes this run the new last line. A missing
+      or incomparable baseline fails the gate — a gate that silently
+      passes on a typo'd path is no gate. *)
+   (if !compare_flag then begin
+      let baseline =
+        match !compare_with with
+        | Some f -> (
+          (* Accept a results file or a history JSONL. *)
+          match Profile.Compare.load_results f with
+          | Ok j -> Ok j
+          | Error _ -> Profile.Compare.load_last_history f)
+        | None ->
+          let hist = Option.value !history_file ~default:"BENCH_history.jsonl" in
+          Profile.Compare.load_last_history hist
+      in
+      let outcome =
+        match baseline with
+        | Error msg -> Error (Printf.sprintf "baseline unavailable: %s" msg)
+        | Ok baseline -> (
+          match
+            Faults.Json.of_string ("{\"schema\":\"mu-bench-results/1\"," ^ core ^ "}")
+          with
+          | Error msg -> Error (Printf.sprintf "current results unparseable: %s" msg)
+          | Ok current -> Ok (Profile.Compare.run ~baseline ~current ()))
+      in
+      match outcome with
+      | Error msg ->
+        Fmt.pr "@.=== compare vs baseline ===@.%s@." msg;
+        (match !compare_report with
+        | Some f ->
+          let oc = open_out f in
+          output_string oc (msg ^ "\n");
+          close_out oc
+        | None -> ());
+        exit_code := 1
+      | Ok r ->
+        Fmt.pr "@.=== compare vs baseline ===@.%a" Profile.Compare.pp r;
+        (match !compare_report with
+        | Some f ->
+          let oc = open_out f in
+          output_string oc (Profile.Compare.to_string r);
+          close_out oc;
+          Fmt.pr "Compare report written to %s@." f
+        | None -> ());
+        if (not r.Profile.Compare.comparable) || Profile.Compare.regressed r then
+          exit_code := 1
+    end);
    (* Append one line per run to the history log, keyed by git revision and a
       caller-supplied stamp (virtual or CI time — never sampled here, to keep
       same-input runs byte-identical). *)

@@ -7,7 +7,9 @@
      mu_demo failover   --rounds 200
      mu_demo throughput --batch 32 --outstanding 2 --requests 30000
      mu_demo detectors
+     mu_demo profile    --mode failover --folded out.folded --speedscope out.json
      mu_demo report     --samples 20000 --rounds 50
+     mu_demo report     --results BENCH_results.json
 
    All experiments are deterministic given --seed. *)
 
@@ -920,24 +922,224 @@ let serve_cmd =
       const (fun () -> run) $ setup_logs $ seed_arg $ shards $ clients $ think $ duration
       $ batch $ doorbell $ metrics_arg $ metrics_interval_arg)
 
+(* --- profile ------------------------------------------------------------------ *)
+
+(* Whole-run virtual-time profiler (DESIGN.md §18): every virtual ns of
+   the run is attributed to (host, fiber, open provenance-span stack) and
+   the buckets sum exactly to the run's span. The folded/speedscope
+   exports carry only virtual time, so equal seeds yield byte-identical
+   files; --selfcost adds the volatile wall-clock side. *)
+
+let profile_cmd =
+  let run () seed mode samples payload rounds scenario_spec n shards batch folded_file
+      speedscope_file top selfcost =
+    let vts = ref [] in
+    let attached =
+      if selfcost then
+        Some (Monitor.Overhead.Attached.create ~clock:Unix.gettimeofday ())
+      else None
+    in
+    let on_engine e =
+      vts := Profile.Vt.attach e :: !vts;
+      Option.iter (fun a -> Monitor.Overhead.Attached.attach a e) attached
+    in
+    let measured f =
+      match attached with
+      | Some a -> Monitor.Overhead.Attached.measure_run a f
+      | None -> f ()
+    in
+    let label =
+      match mode with
+      | `Latency ->
+        measured (fun () ->
+            ignore
+              (Workload.Experiments.mu_replication_latency
+                 (setup_of ~provenance:true ~on_engine seed)
+                 ~samples ~payload ~attach:Mu.Config.Standalone));
+        Printf.sprintf "latency %dx%dB" samples payload
+      | `Failover ->
+        measured (fun () ->
+            ignore
+              (Workload.Experiments.failover
+                 (setup_of ~provenance:true ~on_engine seed)
+                 ~rounds));
+        Printf.sprintf "failover %d rounds" rounds
+      | `Chaos ->
+        let scenario = scenario_or_die ~n scenario_spec in
+        measured (fun () ->
+            ignore
+              (Workload.Chaos.run ~on_engine ~provenance:true ~seed:(Int64.of_int seed)
+                 ~n scenario));
+        Printf.sprintf "chaos %s n=%d" scenario_spec n
+      | `Serve ->
+        measured (fun () ->
+            ignore
+              (Serving.Surface.run_point
+                 (setup_of ~provenance:true ~on_engine seed)
+                 ~shards ~batch ~clients:200_000 ~think_ns:10_000_000
+                 ~duration:1_000_000 ()));
+        Printf.sprintf "serve %d shards batch %d" shards batch
+    in
+    List.iter Profile.Vt.finish !vts;
+    let folded = Profile.Vt.folded !vts in
+    Fmt.pr "=== profile: %s (seed %d, %d engine(s)) ===@." label seed
+      (List.length !vts);
+    Fmt.pr "%a" (fun ppf -> Profile.Report.pp ~top ppf) folded;
+    (match folded_file with
+    | Some file ->
+      Profile.Vt.write_file file (Profile.Vt.to_folded_string folded);
+      Fmt.pr "folded stacks written to %s (flamegraph.pl-ready)@." file
+    | None -> ());
+    (match speedscope_file with
+    | Some file ->
+      Profile.Vt.write_file file (Profile.Vt.to_speedscope_string ~name:label folded);
+      Fmt.pr "speedscope profile written to %s (open in speedscope.app)@." file
+    | None -> ());
+    match attached with
+    | Some a ->
+      Fmt.pr "simulator self-cost (wall-clock, volatile):@.";
+      List.iter
+        (fun r -> Fmt.pr "  %a@." Monitor.Overhead.Attached.pp_row r)
+        (Monitor.Overhead.Attached.report a)
+    | None -> ()
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("latency", `Latency); ("failover", `Failover); ("chaos", `Chaos);
+               ("serve", `Serve) ])
+          `Failover
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Workload to profile: latency, failover, chaos or serve.")
+  in
+  let payload =
+    Arg.(value & opt int 64 & info [ "payload" ] ~docv:"BYTES" ~doc:"Request payload (latency mode).")
+  in
+  let rounds =
+    Arg.(value & opt int 100 & info [ "rounds" ] ~docv:"N" ~doc:"Leader failures (failover mode).")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "kill-restart"
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:"Fault scenario (chaos mode): named or a JSON file.")
+  in
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Replicas (chaos mode).")
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Parallel Mu instances (serve mode).")
+  in
+  let batch =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N" ~doc:"Requests per entry (serve mode).")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:"Write folded (flamegraph-collapsed) stacks to $(docv). Byte-deterministic per seed.")
+  in
+  let speedscope_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "speedscope" ] ~docv:"FILE"
+          ~doc:"Write a speedscope JSON profile to $(docv). Byte-deterministic per seed.")
+  in
+  let top_arg =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"K" ~doc:"Rows in the self/total tables.")
+  in
+  let selfcost_arg =
+    Arg.(
+      value & flag
+      & info [ "selfcost" ]
+          ~doc:
+            "Also sample the simulator's own wall-clock and allocation cost per \
+             observability layer (volatile; never byte-compare).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a run in virtual time: exact exclusive-ns attribution to \
+          host/fiber/provenance-span stacks, folded-stack and speedscope exports \
+          (byte-deterministic per seed), optional simulator self-cost sampling.")
+    Term.(
+      const run $ setup_logs $ seed_arg $ mode_arg $ samples_arg 5_000
+      $ payload $ rounds $ scenario_arg $ n_arg $ shards $ batch $ folded_arg
+      $ speedscope_arg $ top_arg $ selfcost_arg)
+
 (* --- report ------------------------------------------------------------------ *)
 
+(* Text renderer for the engine_speed and profile sections of a
+   mu-bench-results/1 file — the bench records them but the dashboard
+   never showed them. *)
+let render_results_sections file =
+  let module J = Faults.Json in
+  match Profile.Compare.load_results file with
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    exit 2
+  | Ok j ->
+    let fnum obj k = Option.value ~default:0.0 (Option.bind (J.member k obj) J.to_float) in
+    let inum obj k = Option.value ~default:0 (Option.bind (J.member k obj) J.to_int) in
+    let str obj k = Option.value ~default:"?" (Option.bind (J.member k obj) J.to_str) in
+    Fmt.pr "=== %s: engine_speed ===@." file;
+    (match J.member "engine_speed" j with
+    | Some (J.Obj _ as es) ->
+      Fmt.pr "  events/sec (wall, volatile)   %12.2e  (heap-engine baseline %.2e)@."
+        (fnum es "events_per_sec")
+        (fnum es "heap_baseline_events_per_sec");
+      Fmt.pr "  minor words/event             %12.2f  (heap-engine baseline %.1f)@."
+        (fnum es "minor_words_per_event")
+        (fnum es "heap_baseline_minor_words_per_event");
+      Fmt.pr "  raw queue at depth %d: heap %.2e ops/s, wheel %.2e ops/s (%.2fx)@."
+        (inum es "queue_depth") (fnum es "heap_queue_ops_per_sec")
+        (fnum es "wheel_queue_ops_per_sec") (fnum es "queue_speedup")
+    | _ -> Fmt.pr "  not recorded (run the engine-speed section)@.");
+    Fmt.pr "=== %s: profile ===@." file;
+    (match J.member "profile" j with
+    | Some (J.Obj _ as p) ->
+      Fmt.pr "  mode %s, %d rounds (virtual time, deterministic per seed):@."
+        (str p "mode") (inum p "rounds");
+      Fmt.pr "  span %d ns, idle %d ns, %d stacks, %d frames@." (inum p "span_ns")
+        (inum p "idle_ns") (inum p "stacks") (inum p "frames");
+      (match Option.bind (J.member "selfcost" p) J.to_list with
+      | Some (_ :: _ as rows) ->
+        Fmt.pr "  simulator self-cost (wall-clock, volatile):@.";
+        List.iter
+          (fun r ->
+            Fmt.pr "    %-18s %10.6f s %14.0f minor words@." (str r "layer")
+              (fnum r "wall_s") (fnum r "minor_words"))
+          rows
+      | _ -> ())
+    | _ -> Fmt.pr "  not recorded (run the profile section)@.")
+
 let report_cmd =
-  let run seed samples rounds interval metrics_file =
-    (* One sampler shared across both experiments so the dashboard shows
-       replication latency and the fail-over score timeline side by side. *)
-    let sampler = Telemetry.Sampler.create (Telemetry.Registry.create ()) ~interval in
-    let setup = setup_of ~metrics:sampler seed in
-    let lat =
-      Workload.Experiments.mu_replication_latency setup ~samples ~payload:64
-        ~attach:Mu.Config.Standalone
-    in
-    let r = Workload.Experiments.failover setup ~rounds in
-    pp_result "Mu 64B replication" lat;
-    pp_result "total fail-over" r.Workload.Experiments.total;
-    Fmt.pr "@.%s"
-      (Telemetry.Dashboard.render ~sampler (Telemetry.Sampler.registry sampler));
-    export_metrics (Some sampler) metrics_file
+  let run seed samples rounds interval metrics_file results_file =
+    (match results_file with
+    | Some file -> render_results_sections file
+    | None -> ());
+    if results_file <> None && metrics_file = None then ()
+    else begin
+      (* One sampler shared across both experiments so the dashboard shows
+         replication latency and the fail-over score timeline side by side. *)
+      let sampler = Telemetry.Sampler.create (Telemetry.Registry.create ()) ~interval in
+      let setup = setup_of ~metrics:sampler seed in
+      let lat =
+        Workload.Experiments.mu_replication_latency setup ~samples ~payload:64
+          ~attach:Mu.Config.Standalone
+      in
+      let r = Workload.Experiments.failover setup ~rounds in
+      pp_result "Mu 64B replication" lat;
+      pp_result "total fail-over" r.Workload.Experiments.total;
+      Fmt.pr "@.%s"
+        (Telemetry.Dashboard.render ~sampler (Telemetry.Sampler.registry sampler));
+      export_metrics (Some sampler) metrics_file
+    end
   in
   let rounds =
     Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N" ~doc:"Leader failures to inject.")
@@ -949,14 +1151,25 @@ let report_cmd =
       & info [ "metrics-interval" ] ~docv:"NS"
           ~doc:"Virtual-time sampling interval for the score timeline.")
   in
+  let results_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "results" ] ~docv:"FILE"
+          ~doc:
+            "Render the engine_speed and profile sections of a mu-bench-results/1 \
+             file (e.g. BENCH_results.json) instead of running the live workload.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Run a replication-latency + fail-over workload and render a replica health \
-          dashboard (latency percentiles, fail-over phase breakdown, score timeline).")
+          dashboard (latency percentiles, fail-over phase breakdown, score timeline); \
+          with --results, render the recorded engine_speed and profile sections of a \
+          bench results file.")
     Term.(
       const (fun () -> run) $ setup_logs $ seed_arg $ samples_arg 20_000 $ rounds $ interval
-      $ metrics_arg)
+      $ metrics_arg $ results_arg)
 
 let () =
   let doc = "Experiments with Mu: microsecond consensus on a simulated RDMA fabric." in
@@ -964,4 +1177,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "mu_demo" ~doc)
           [ latency_cmd; compare_cmd; failover_cmd; throughput_cmd; detectors_cmd;
-            metrics_cmd; chaos_cmd; watch_cmd; explain_cmd; serve_cmd; report_cmd ]))
+            metrics_cmd; chaos_cmd; watch_cmd; explain_cmd; serve_cmd; profile_cmd;
+            report_cmd ]))

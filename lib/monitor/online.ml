@@ -25,6 +25,10 @@ type t = {
   mutable windows : int;
   mutable notify : (Log.entry -> unit) option;
   mutable on_window : (Slo.window -> Rules.t list -> unit) option;
+  (* Self-cost hook: when set, every window evaluation runs through
+     this wrapper so the profile plane can attribute its wall-clock and
+     allocation to the monitor layer. *)
+  mutable prof : ((unit -> unit) -> unit) option;
 }
 
 let attach ?window_ns ?rules:specs engine sampler =
@@ -45,37 +49,42 @@ let attach ?window_ns ?rules:specs engine sampler =
       windows = 0;
       notify = None;
       on_window = None;
+      prof = None;
     }
+  in
+  let close_window ~now ~epoch samples =
+    let w = Slo.advance t.slo ~epoch ~t0:t.win_start ~t1:now samples in
+    t.win_start <- now;
+    t.windows <- t.windows + 1;
+    List.iter
+      (fun r ->
+        match Rules.step r w with
+        | None -> ()
+        | Some (edge, detail) ->
+          let entry =
+            Log.add t.log ~at:now ~epoch ~window:(Slo.index w)
+              ~rule:(Rules.name r) ~edge ~detail
+          in
+          if Sim.Engine.traced t.engine then
+            Sim.Engine.trace_instant t.engine ~cat:"alert"
+              ~args:
+                [
+                  ("rule", Rules.name r);
+                  ("edge", (match edge with `Fire -> "fire" | `Clear -> "clear"));
+                  ("detail", detail);
+                ]
+              "alert";
+          (match t.notify with Some f -> f entry | None -> ()))
+      t.rules;
+    match t.on_window with Some f -> f w t.rules | None -> ()
   in
   Telemetry.Sampler.subscribe sampler (fun ~now ~epoch samples ->
       (* A shared sampler keeps ticking for engines built after this
          one; windows of a foreign epoch belong to a different run. *)
-      if epoch = t.epoch && now - t.win_start >= t.window_ns then begin
-        let w = Slo.advance t.slo ~epoch ~t0:t.win_start ~t1:now samples in
-        t.win_start <- now;
-        t.windows <- t.windows + 1;
-        List.iter
-          (fun r ->
-            match Rules.step r w with
-            | None -> ()
-            | Some (edge, detail) ->
-              let entry =
-                Log.add t.log ~at:now ~epoch ~window:(Slo.index w)
-                  ~rule:(Rules.name r) ~edge ~detail
-              in
-              if Sim.Engine.traced t.engine then
-                Sim.Engine.trace_instant t.engine ~cat:"alert"
-                  ~args:
-                    [
-                      ("rule", Rules.name r);
-                      ("edge", (match edge with `Fire -> "fire" | `Clear -> "clear"));
-                      ("detail", detail);
-                    ]
-                  "alert";
-              (match t.notify with Some f -> f entry | None -> ()))
-          t.rules;
-        match t.on_window with Some f -> f w t.rules | None -> ()
-      end);
+      if epoch = t.epoch && now - t.win_start >= t.window_ns then
+        match t.prof with
+        | None -> close_window ~now ~epoch samples
+        | Some wrap -> wrap (fun () -> close_window ~now ~epoch samples));
   t
 
 let log t = t.log
@@ -84,5 +93,7 @@ let windows t = t.windows
 let window_ns t = t.window_ns
 let on_alert t f = t.notify <- Some f
 let on_window t f = t.on_window <- Some f
+let set_profile t wrap = t.prof <- Some wrap
+let clear_profile t = t.prof <- None
 
 let firing t = Log.firing t.log

@@ -33,3 +33,52 @@ val run_all :
 
 val pp_sample : sample Fmt.t
 val pp : sample list Fmt.t
+
+(** Run-attached self-cost sampling: per-subsystem wall-clock and
+    [Gc.minor_words] attribution for a {e real} run, not the synthetic
+    workload above. Interposes on the seams the observability layers
+    already expose (probe sink, sampler tick, online window, engine
+    queue hook) with stride sampling. All numbers are wall-clock and
+    volatile — report them, never byte-compare them; the virtual clock
+    never observes any of it. *)
+module Attached : sig
+  type t
+
+  val create : ?stride:int -> clock:(unit -> float) -> unit -> t
+  (** [stride] (default 64): measure one event in [stride] per seam.
+      [clock] is wall seconds (e.g. [Unix.gettimeofday]); calibration of
+      the measurement's own allocation happens here. *)
+
+  val attach : t -> Sim.Engine.t -> unit
+  (** Hook the engine's queue selfcost and wrap its probe sink (if one
+      is installed — attach {e after} the tracer). Trace and provenance
+      cost split on the event category (provenance events are
+      [cat="prov"]). *)
+
+  val attach_sampler : t -> Telemetry.Sampler.t -> unit
+  (** Attribute sampler ticks to the telemetry layer. *)
+
+  val attach_online : t -> Online.t -> unit
+  (** Attribute window evaluations to the monitor layer. *)
+
+  val measure_run : t -> (unit -> 'a) -> 'a
+  (** Measure a whole run (wall + minor words); the report's
+      [engine_dispatch] row is this minus every attributed seam. May be
+      called several times; measurements accumulate. *)
+
+  type row = {
+    r_layer : string;
+    r_events : int;
+    r_sampled : int;
+    r_wall_s : float;
+    r_minor_words : float;
+  }
+
+  val report : t -> row list
+  (** [run_total; engine_dispatch; queue_ops; trace; provenance;
+      telemetry_sampler; monitor], wall and words extrapolated from the
+      sampled fraction to all events. *)
+
+  val pp_row : row Fmt.t
+  val pp : row list Fmt.t
+end

@@ -1,0 +1,52 @@
+(** Perf-regression gate over [mu-bench-results/1] documents.
+
+    Diffs the {e deterministic} fields of a current bench results file
+    against a baseline (normally the last [BENCH_history.jsonl] line)
+    with per-field worse-direction tolerances. Volatile wall-clock
+    fields are never compared. Fields missing on either side (partial
+    [--only] runs) are skipped, not failed. Baselines with a different
+    seed or quick flag are incomparable: the result says so and carries
+    no verdict. *)
+
+type direction = [ `Lower_is_better | `Higher_is_better ]
+
+type rule = { r_path : string list; r_dir : direction; r_tol_pct : float }
+
+val default_rules : rule list
+(** Replication/failover latency percentiles (+10%), best serving
+    committed/us (−15%), minor words per event (+15%), profile span
+    (+25%). [serving.best_committed_per_us] is derived: the max over
+    the surface's cells. *)
+
+type field = {
+  f_path : string;
+  f_baseline : float;
+  f_current : float;
+  f_delta_pct : float; (** (current − baseline) / baseline × 100 *)
+  f_tol_pct : float;
+  f_regressed : bool;
+}
+
+type result = {
+  fields : field list;
+  skipped : string list;
+  checks_broken : string list; (** ok in baseline, failing now *)
+  comparable : bool;
+  note : string; (** why not comparable, or [""] *)
+}
+
+val run :
+  ?rules:rule list -> baseline:Faults.Json.t -> current:Faults.Json.t -> unit -> result
+
+val regressed : result -> bool
+(** True iff comparable and some field regressed or some check broke. *)
+
+val pp_field : field Fmt.t
+val pp : result Fmt.t
+val to_string : result -> string
+
+val load_results : string -> (Faults.Json.t, string) Stdlib.result
+(** Parse a whole results file as one JSON document. *)
+
+val load_last_history : string -> (Faults.Json.t, string) Stdlib.result
+(** Parse the last non-empty line of a JSONL history file. *)

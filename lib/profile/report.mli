@@ -1,0 +1,18 @@
+(** Top-N report over folded stacks ({!Vt.folded} output).
+
+    Per-frame self (exclusive, frame is leaf) and total (frame appears
+    anywhere on the stack, counted once per stack) nanoseconds, with
+    deterministic ordering: descending ns, then frame name. *)
+
+type entry = { frame : string; self_ns : int; total_ns : int }
+
+val of_folded : (string list * int) list -> entry list
+(** Sorted by frame name (as {!Trace.Attrib.frame_totals}). *)
+
+val by_self : entry list -> entry list
+val by_total : entry list -> entry list
+
+val pp : ?top:int -> Format.formatter -> (string list * int) list -> unit
+(** [top] defaults to 15. *)
+
+val to_string : ?top:int -> (string list * int) list -> string

@@ -1,3 +1,65 @@
+(* Profiler hooks: the whole-run virtual-time profiler (lib/profile)
+   registers one of these. The engine attributes the interval between
+   consecutive events to the identity captured when the interval-ending
+   event was scheduled: [schedule] wraps the thunk with a closure that
+   carries (pid, fiber, open span stack), the run loop announces each
+   clock advance through [prof_event], and the wrapper claims the
+   accumulated interval through [prof_attr] before running the real
+   thunk. Everything is a single option check when no profiler is
+   attached. *)
+type profiler = {
+  prof_event : now:int -> unit;
+      (* run loop: clock advanced to [now], a thunk is about to fire *)
+  prof_attr : pid:int -> tid:int -> spans:int list -> unit;
+      (* claim the pending interval for this identity (innermost span first) *)
+  prof_fiber : tid:int -> pid:int -> name:string -> unit;
+  prof_span : id:int -> name:string -> unit;
+  prof_host : pid:int -> name:string -> unit;
+}
+
+(* Simulator self-cost sampling: wall-clock spent in the event queue,
+   stride-sampled so a profiled run stays close to full speed. Queue
+   push/pop are allocation-free, so only wall time is measured here;
+   allocation attribution for the observability layers happens in their
+   own wrappers (Monitor.Overhead.Attached). Wall-clock never feeds the
+   virtual clock, so sampling cannot perturb the simulation — it only
+   slows it. *)
+type selfcost = {
+  sc_clock : unit -> float;
+  sc_stride : int;
+  sc_bias : float; (* wall seconds an empty clock-pair measurement costs *)
+  mutable sc_arm : int; (* countdown to the next measured op *)
+  mutable sc_queue_ops : int; (* all queue ops (push + pop) *)
+  mutable sc_queue_sampled : int; (* ops actually measured *)
+  mutable sc_queue_wall : float; (* wall seconds over the sampled ops *)
+}
+
+(* A queue op costs tens of ns; the clock pair around it can cost as
+   much. Calibrate the empty-measurement floor and subtract it from
+   every sample, or the extrapolation charges the clock to the queue. *)
+let selfcost_calibrate clock =
+  let best = ref infinity in
+  for _ = 1 to 128 do
+    let c0 = clock () in
+    let d = clock () -. c0 in
+    if d < !best then best := d
+  done;
+  !best
+
+let selfcost_create ?(stride = 64) ~clock () =
+  if stride <= 0 then invalid_arg "Engine.selfcost_create: stride must be positive";
+  {
+    sc_clock = clock;
+    sc_stride = stride;
+    sc_bias = selfcost_calibrate clock;
+    sc_arm = stride;
+    sc_queue_ops = 0;
+    sc_queue_sampled = 0;
+    sc_queue_wall = 0.0;
+  }
+
+let selfcost_queue sc = (sc.sc_queue_ops, sc.sc_queue_sampled, sc.sc_queue_wall)
+
 type t = {
   mutable now : int;
   mutable seq : int;
@@ -27,6 +89,15 @@ type t = {
   mutable tel_events : Telemetry.Registry.counter option;
   mutable tel_depth : Telemetry.Registry.gauge option;
   mutable tel_fibers : Telemetry.Registry.counter option;
+  (* Wheel-shape gauges (satellite of the profiler work): one gauge per
+     wheel level plus overflow/past heap sizes. Packed in one array so
+     the run loop updates them with plain field writes; empty when
+     metrics are off. *)
+  mutable tel_wheel : Telemetry.Registry.gauge array;
+  (* Profiler: absent by default; every hook site below is one option
+     check (no allocation) until [set_profiler] attaches one. *)
+  mutable prof : profiler option;
+  mutable selfcost : selfcost option;
 }
 
 exception Fiber_crash of string * exn
@@ -59,6 +130,9 @@ let create ?(seed = 1L) () =
     tel_events = None;
     tel_depth = None;
     tel_fibers = None;
+    tel_wheel = [||];
+    prof = None;
+    selfcost = None;
   }
 
 let now t = t.now
@@ -77,9 +151,29 @@ let set_metrics t reg =
   t.tel_depth <-
     Some (Telemetry.Registry.gauge reg ~help:"Pending events in the queue" "sim_event_queue_depth");
   t.tel_fibers <-
-    Some (Telemetry.Registry.counter reg ~help:"Fibers spawned" "sim_fibers_spawned_total")
+    Some (Telemetry.Registry.counter reg ~help:"Fibers spawned" "sim_fibers_spawned_total");
+  t.tel_wheel <-
+    Array.init 6 (fun i ->
+        if i < 4 then
+          Telemetry.Registry.gauge reg ~help:"Events stored at this wheel level"
+            ~labels:[ ("level", string_of_int i) ]
+            "sim_wheel_level_events"
+        else if i = 4 then
+          Telemetry.Registry.gauge reg ~help:"Events beyond the wheel horizon"
+            "sim_wheel_overflow_events"
+        else
+          Telemetry.Registry.gauge reg ~help:"Events behind the wheel clock"
+            "sim_wheel_past_events")
 
 let metrics t = t.reg
+
+(* Profiler ------------------------------------------------------------- *)
+
+let set_profiler t p = t.prof <- Some p
+let clear_profiler t = t.prof <- None
+let profiled t = match t.prof with Some _ -> true | None -> false
+let set_selfcost t sc = t.selfcost <- Some sc
+let clear_selfcost t = t.selfcost <- None
 
 (* Tracing ------------------------------------------------------------- *)
 
@@ -125,7 +219,9 @@ let trace_counter t ?cat ?pid name ~value =
   if Probe.enabled t.probe then
     emit t ~kind:Probe.Counter ?cat ?pid ~args:[ ("value", string_of_int value) ] name
 
-let trace_meta_process t ~pid name = emit t ~kind:Probe.Meta_process ~pid ~tid:0 name
+let trace_meta_process t ~pid name =
+  (match t.prof with Some p -> p.prof_host ~pid ~name | None -> ());
+  emit t ~kind:Probe.Meta_process ~pid ~tid:0 name
 let trace_meta_thread t ~pid ~tid name = emit t ~kind:Probe.Meta_thread ~pid ~tid name
 
 let trace_span t ?cat ?pid ?args name f =
@@ -145,7 +241,14 @@ let trace_span t ?cat ?pid ?args name f =
    (deterministic) event order, so equal seeds yield equal ids. *)
 
 let set_provenance t on = t.prov <- on
-let provenance_on t = t.prov && Probe.enabled t.probe
+
+(* An attached profiler also consumes span stacks (they are the third
+   component of its attribution identity), so provenance machinery runs
+   for it even with no probe sink installed — span ids are allocated in
+   deterministic event order and touch no PRNG, and [emit] without a
+   sink is a no-op, so this changes no trace bytes. *)
+let provenance_on t =
+  t.prov && (Probe.enabled t.probe || match t.prof with Some _ -> true | None -> false)
 
 let span_stack t =
   match Hashtbl.find_opt t.span_stacks t.cur_fiber with
@@ -165,6 +268,7 @@ let span_open t ?pid ?parent ?(args = []) name =
   else begin
     t.next_span <- t.next_span + 1;
     let id = t.next_span in
+    (match t.prof with Some p -> p.prof_span ~id ~name | None -> ());
     let parent = match parent with Some p -> p | None -> current_span t in
     emit t ~kind:Probe.Instant ~cat:"prov" ?pid
       ~args:
@@ -225,10 +329,40 @@ let span_stacks_live t = Hashtbl.length t.span_stacks
 let span_scope t ?pid ?args name f =
   if not (provenance_on t) then f () else with_span t ?pid ?args name (fun _ -> f ())
 
+(* Profiling wrap: capture the scheduling identity (host, fiber, open
+   span stack — an immutable list snapshot) and claim the inter-event
+   interval for it just before the real thunk runs. Attribution at
+   schedule time is what makes exclusive times exact: virtual time
+   elapses *between* events, and the interval ending at this event is
+   precisely the wait this identity asked for (a sleep, an RDMA delay,
+   a timer). *)
+let[@inline never] prof_wrap t (p : profiler) thunk =
+  let pid = t.cur_pid and tid = t.cur_fiber in
+  let spans =
+    match Hashtbl.find_opt t.span_stacks t.cur_fiber with Some s -> !s | None -> []
+  in
+  fun () ->
+    p.prof_attr ~pid ~tid ~spans;
+    thunk ()
+
 let schedule t ~at thunk =
   let at = if at < t.now then t.now else at in
   t.seq <- t.seq + 1;
-  Wheel.push t.events ~key:at ~seq:t.seq thunk
+  let thunk = match t.prof with None -> thunk | Some p -> prof_wrap t p thunk in
+  match t.selfcost with
+  | None -> Wheel.push t.events ~key:at ~seq:t.seq thunk
+  | Some sc ->
+    sc.sc_queue_ops <- sc.sc_queue_ops + 1;
+    sc.sc_arm <- sc.sc_arm - 1;
+    if sc.sc_arm > 0 then Wheel.push t.events ~key:at ~seq:t.seq thunk
+    else begin
+      sc.sc_arm <- sc.sc_stride;
+      let c0 = sc.sc_clock () in
+      Wheel.push t.events ~key:at ~seq:t.seq thunk;
+      sc.sc_queue_wall <-
+        sc.sc_queue_wall +. Float.max 0.0 (sc.sc_clock () -. c0 -. sc.sc_bias);
+      sc.sc_queue_sampled <- sc.sc_queue_sampled + 1
+    end
 
 let schedule_after t delay thunk = schedule t ~at:(t.now + delay) thunk
 let halt t = t.halted <- true
@@ -246,6 +380,7 @@ let spawn t ?(name = "fiber") ?(pid = -1) f =
   if t.tel_on then
     (match t.tel_fibers with Some c -> Telemetry.Registry.Counter.inc c | None -> ());
   let fid = t.next_fiber in
+  (match t.prof with Some p -> p.prof_fiber ~tid:fid ~pid ~name | None -> ());
   if traced t then begin
     trace_meta_thread t ~pid ~tid:fid name;
     trace_instant t ~pid ~tid:fid ~args:[ ("name", name) ] "fiber_spawn"
@@ -336,16 +471,42 @@ let run ?until t =
       if at = max_int then () (* queue drained *)
       else if at > limit then t.now <- limit
       else begin
-        let thunk = Wheel.pop_exn t.events in
+        let thunk =
+          match t.selfcost with
+          | None -> Wheel.pop_exn t.events
+          | Some sc ->
+            sc.sc_queue_ops <- sc.sc_queue_ops + 1;
+            sc.sc_arm <- sc.sc_arm - 1;
+            if sc.sc_arm > 0 then Wheel.pop_exn t.events
+            else begin
+              sc.sc_arm <- sc.sc_stride;
+              let c0 = sc.sc_clock () in
+              let th = Wheel.pop_exn t.events in
+              sc.sc_queue_wall <-
+                sc.sc_queue_wall +. Float.max 0.0 (sc.sc_clock () -. c0 -. sc.sc_bias);
+              sc.sc_queue_sampled <- sc.sc_queue_sampled + 1;
+              th
+            end
+        in
         t.now <- at;
         if t.tel_on then begin
           (match t.tel_events with
           | Some c -> Telemetry.Registry.Counter.inc c
           | None -> ());
-          match t.tel_depth with
+          (match t.tel_depth with
           | Some g -> Telemetry.Registry.Gauge.set g (Wheel.length t.events)
-          | None -> ()
+          | None -> ());
+          let ws = t.tel_wheel in
+          if Array.length ws = 6 then begin
+            Telemetry.Registry.Gauge.set ws.(0) (Wheel.level_events t.events 0);
+            Telemetry.Registry.Gauge.set ws.(1) (Wheel.level_events t.events 1);
+            Telemetry.Registry.Gauge.set ws.(2) (Wheel.level_events t.events 2);
+            Telemetry.Registry.Gauge.set ws.(3) (Wheel.level_events t.events 3);
+            Telemetry.Registry.Gauge.set ws.(4) (Wheel.overflow_size t.events);
+            Telemetry.Registry.Gauge.set ws.(5) (Wheel.past_size t.events)
+          end
         end;
+        (match t.prof with Some p -> p.prof_event ~now:at | None -> ());
         thunk ();
         loop ()
       end

@@ -59,6 +59,63 @@ val halt : t -> unit
 
 val pending_events : t -> int
 
+(** {1 Profiling}
+
+    Whole-run virtual-time attribution, consumed by the [profile]
+    library. The engine attributes the interval between consecutive
+    events to the identity that {e scheduled} the interval-ending event
+    — (host pid, fiber id, open provenance-span stack) captured inside
+    {!schedule} — so per-identity exclusive times sum exactly to the
+    run's span. With no profiler attached every hook site is a single
+    option check and allocates nothing; with one attached, each
+    scheduled event carries one extra closure. Attaching a profiler
+    never touches any PRNG and emits no probe events, so a profiled
+    run's event order, trace bytes and PRNG streams are byte-identical
+    to the unprofiled run. *)
+
+type profiler = {
+  prof_event : now:int -> unit;
+      (** The run loop advanced the clock to [now]; a thunk fires next.
+          Accumulate [now - last] as the pending interval. *)
+  prof_attr : pid:int -> tid:int -> spans:int list -> unit;
+      (** Claim the pending interval for this scheduling identity.
+          [spans] is innermost-first. Called by the scheduled thunk's
+          wrapper, after {!prof_event} for the same instant. *)
+  prof_fiber : tid:int -> pid:int -> name:string -> unit;
+      (** A fiber was spawned (names the [tid]). *)
+  prof_span : id:int -> name:string -> unit;
+      (** A provenance span id was allocated (names the [id]). *)
+  prof_host : pid:int -> name:string -> unit;
+      (** A host announced its name (via {!trace_meta_process}). *)
+}
+
+val set_profiler : t -> profiler -> unit
+(** Attach a profiler. Attach before scheduling any work: events already
+    queued are not wrapped, and their intervals fall into the
+    profiler's idle bucket rather than a fiber's. *)
+
+val clear_profiler : t -> unit
+
+val profiled : t -> bool
+(** [true] iff a profiler is attached. *)
+
+type selfcost
+(** Stride-sampled wall-clock accounting of the engine's own event
+    queue (push + pop). Wall-clock readings never feed the virtual
+    clock, so sampling cannot perturb the simulation. The numbers are
+    volatile: never byte-compare them. *)
+
+val selfcost_create : ?stride:int -> clock:(unit -> float) -> unit -> selfcost
+(** [stride] (default 64): measure one queue op in [stride]. *)
+
+val set_selfcost : t -> selfcost -> unit
+val clear_selfcost : t -> unit
+
+val selfcost_queue : selfcost -> int * int * float
+(** [(ops, sampled, wall_s)]: total queue ops, ops measured, and wall
+    seconds summed over the measured ops. Extrapolate with
+    [wall_s *. float ops /. float sampled]. *)
+
 (** {1 Telemetry}
 
     Like tracing, telemetry is opt-in: with no registry attached every
@@ -134,8 +191,10 @@ val set_provenance : t -> bool -> unit
 (** Enable/disable provenance span emission. *)
 
 val provenance_on : t -> bool
-(** [true] iff provenance is enabled and a probe sink is installed. Guard
-    argument construction on hot paths with this. *)
+(** [true] iff provenance is enabled and a probe sink {e or a profiler}
+    is installed (the profiler consumes span stacks as part of its
+    attribution identity; with no sink the span events themselves go
+    nowhere). Guard argument construction on hot paths with this. *)
 
 val current_span : t -> int
 (** Innermost open {!with_span} span of the executing fiber (0 = none).

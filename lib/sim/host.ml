@@ -41,7 +41,8 @@ let create engine calibration ~id ~name =
     }
   in
   schedule_next_jitter t;
-  if Engine.traced engine then Engine.trace_meta_process engine ~pid:id name;
+  if Engine.traced engine || Engine.profiled engine then
+    Engine.trace_meta_process engine ~pid:id name;
   t
 
 let engine t = t.engine

@@ -51,6 +51,7 @@ type 'a t = {
   mutable cur : int; (* level-0 bucket being drained, -1 if none *)
   mutable head : int; (* consumed prefix of [cur] *)
   mutable count : int; (* events in the wheel proper *)
+  lvl : int array; (* events per level, maintained by place/cascade/pop *)
   past : Obj.t Heap.t;
   overflow : Obj.t Heap.t;
 }
@@ -66,6 +67,7 @@ let create () =
     cur = -1;
     head = 0;
     count = 0;
+    lvl = Array.make levels 0;
     past = Heap.create ();
     overflow = Heap.create ();
   }
@@ -106,6 +108,7 @@ let place t ~key ~seq v =
   t.bseqs.(b).(n) <- seq;
   t.bvals.(b).(n) <- v;
   t.sizes.(b) <- n + 1;
+  t.lvl.(l) <- t.lvl.(l) + 1;
   if n = 0 then set_bit t b
 
 let push t ~key ~seq value =
@@ -141,6 +144,8 @@ let cascade t b =
   let n = t.sizes.(b) in
   t.sizes.(b) <- 0;
   clear_bit t b;
+  let src = b / slots in
+  t.lvl.(src) <- t.lvl.(src) - n;
   let keys = t.bkeys.(b) and seqs = t.bseqs.(b) and vals = t.bvals.(b) in
   for i = 0 to n - 1 do
     let v = vals.(i) in
@@ -234,8 +239,44 @@ let pop_exn t =
     t.bvals.(b).(i) <- dummy;
     t.head <- i + 1;
     t.count <- t.count - 1;
+    (* [cur] is always a level-0 bucket. *)
+    t.lvl.(0) <- t.lvl.(0) - 1;
     (Obj.obj v : 'a)
   end
   else invalid_arg "Wheel.pop_exn: empty"
 
 let pop t = if is_empty t then None else Some (pop_exn t)
+
+(* --- occupancy ---------------------------------------------------------- *)
+
+let level_events t l = t.lvl.(l)
+let past_size t = Heap.length t.past
+let overflow_size t = Heap.length t.overflow
+
+type stats = {
+  level_events : int array;
+  level_slots : int array;
+  past : int;
+  overflow : int;
+}
+
+let stats t =
+  let level_slots = Array.make levels 0 in
+  (* Popcount over the occupancy bitmap, 8 words of 32 bits per level. *)
+  for l = 0 to levels - 1 do
+    let n = ref 0 in
+    for w = l * slots / 32 to (((l + 1) * slots) / 32) - 1 do
+      let x = ref t.occ.(w) in
+      while !x <> 0 do
+        x := !x land (!x - 1);
+        incr n
+      done
+    done;
+    level_slots.(l) <- !n
+  done;
+  {
+    level_events = Array.copy t.lvl;
+    level_slots;
+    past = Heap.length t.past;
+    overflow = Heap.length t.overflow;
+  }

@@ -1,0 +1,117 @@
+(* Stack attribution core: the one implementation of "turn nested
+   begin/end frames into inclusive and exclusive durations", shared by
+   the Breakdown accumulator (per-category tables) and the profile
+   library's report view. Exclusive time is inclusive time minus the
+   inclusive time of completed children — the flame-graph "self"
+   column — computed online with one mutable child accumulator per open
+   frame, no post-processing pass.
+
+   Pairing discipline matches what Breakdown has always done (its
+   output must stay byte-identical): frames nest LIFO per (pid, tid);
+   an end event pops until it finds a frame with the same (cat, name),
+   counting every skipped frame — a begin whose end was lost, e.g. a
+   fiber killed mid-span — as unmatched, and counts the end itself as
+   unmatched when no frame matches. A skipped frame's accumulated child
+   time is dropped with it. *)
+
+type frame = {
+  f_cat : string;
+  f_name : string;
+  f_begin : int;
+  mutable f_child : int; (* inclusive ns of completed children *)
+}
+
+type t = {
+  stacks : (int * int, frame list ref) Hashtbl.t; (* (pid, tid) -> open frames *)
+  mutable unmatched : int;
+  mutable on_close :
+    cat:string -> name:string -> pid:int -> tid:int -> inclusive:int -> exclusive:int -> unit;
+}
+
+let create () =
+  {
+    stacks = Hashtbl.create 16;
+    unmatched = 0;
+    on_close = (fun ~cat:_ ~name:_ ~pid:_ ~tid:_ ~inclusive:_ ~exclusive:_ -> ());
+  }
+
+let on_close t f = t.on_close <- f
+
+let stack t key =
+  match Hashtbl.find_opt t.stacks key with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.add t.stacks key s;
+    s
+
+let add t (ev : Sim.Probe.event) =
+  match ev.kind with
+  | Sim.Probe.Span_begin ->
+    let s = stack t (ev.pid, ev.tid) in
+    s := { f_cat = ev.cat; f_name = ev.name; f_begin = ev.ts; f_child = 0 } :: !s
+  | Sim.Probe.Span_end ->
+    let s = stack t (ev.pid, ev.tid) in
+    let rec pop = function
+      | [] ->
+        t.unmatched <- t.unmatched + 1;
+        []
+      | f :: rest when f.f_cat = ev.cat && f.f_name = ev.name ->
+        let inclusive = ev.ts - f.f_begin in
+        let exclusive = inclusive - f.f_child in
+        (match rest with
+        | parent :: _ -> parent.f_child <- parent.f_child + inclusive
+        | [] -> ());
+        t.on_close ~cat:f.f_cat ~name:f.f_name ~pid:ev.pid ~tid:ev.tid ~inclusive
+          ~exclusive;
+        rest
+      | _skipped :: rest ->
+        t.unmatched <- t.unmatched + 1;
+        pop rest
+    in
+    s := pop !s
+  | Sim.Probe.Async_begin | Sim.Probe.Async_end | Sim.Probe.Instant | Sim.Probe.Counter
+  | Sim.Probe.Meta_process | Sim.Probe.Meta_thread ->
+    ()
+
+let unmatched t = t.unmatched
+
+let open_frames t =
+  Hashtbl.fold (fun _ s acc -> acc + List.length !s) t.stacks 0
+
+(* --- folded-stack aggregation ------------------------------------------- *)
+
+(* Per-frame self/total over a folded-stack profile (root-first frame
+   lists with exclusive weights — the profile library's export shape).
+   Self sums the weights of stacks whose leaf is the frame; total sums
+   the weights of stacks containing the frame, counted once per stack
+   even when the frame repeats (recursion must not double-count). *)
+let frame_totals stacks =
+  let tbl : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  let cell f =
+    match Hashtbl.find_opt tbl f with
+    | Some c -> c
+    | None ->
+      let c = (ref 0, ref 0) in
+      Hashtbl.add tbl f c;
+      c
+  in
+  List.iter
+    (fun (frames, w) ->
+      match List.rev frames with
+      | [] -> ()
+      | leaf :: _ ->
+        let self, _ = cell leaf in
+        self := !self + w;
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun f ->
+            if not (Hashtbl.mem seen f) then begin
+              Hashtbl.add seen f ();
+              let _, total = cell f in
+              total := !total + w
+            end)
+          frames)
+    stacks;
+  Hashtbl.fold (fun f (self, total) acc -> (f, !self, !total) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)

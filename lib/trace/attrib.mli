@@ -1,0 +1,44 @@
+(** Stack attribution core: nested begin/end frames to inclusive and
+    {e exclusive} (self) durations.
+
+    The single implementation behind both {!Breakdown} (per-category
+    duration tables) and the profile library's report view. Frames nest
+    LIFO per (pid, tid); an end event pops until a frame with the same
+    (cat, name) matches, counting skipped frames and orphan ends as
+    unmatched — exactly the pairing discipline Breakdown has always
+    used, so layering it on this core leaves Breakdown's output
+    byte-identical. Exclusive = inclusive − inclusive-of-completed-
+    children, computed online. *)
+
+type t
+
+val create : unit -> t
+
+val on_close :
+  t ->
+  (cat:string ->
+  name:string ->
+  pid:int ->
+  tid:int ->
+  inclusive:int ->
+  exclusive:int ->
+  unit) ->
+  unit
+(** Install the consumer called at every completed frame, in event
+    order. Replaces any previous consumer. *)
+
+val add : t -> Sim.Probe.event -> unit
+(** Feed an event; only [Span_begin]/[Span_end] are significant. *)
+
+val unmatched : t -> int
+(** End events without a matching begin, plus begins whose end was
+    lost (skipped during a pop). *)
+
+val open_frames : t -> int
+(** Frames currently open across all (pid, tid) stacks. *)
+
+val frame_totals : (string list * int) list -> (string * int * int) list
+(** [frame_totals folded] aggregates folded stacks (root-first frame
+    lists with exclusive weights) into [(frame, self_ns, total_ns)]
+    sorted by frame name. Total counts a stack's weight once per frame
+    even when the frame repeats in the stack (recursion). *)

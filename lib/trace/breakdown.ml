@@ -1,83 +1,70 @@
 type row = {
   samples : Sim.Stats.Samples.t;
   mutable total_ns : int;
+  mutable excl_ns : int;
 }
 
+(* Synchronous spans go through the shared Attrib core (which owns the
+   per-(pid, tid) stack discipline and computes exclusive time on the
+   side); async spans pair by (cat, name, id) and stay here — they may
+   overlap arbitrarily, so "exclusive" degenerates to inclusive for
+   them. The row tables and the printed output are byte-identical to
+   the pre-Attrib implementation. *)
 type t = {
   rows : (string * string, row) Hashtbl.t; (* (cat, name) -> durations *)
-  sync_stack : (int * int, (string * string * int) list ref) Hashtbl.t;
-  (* (pid, tid) -> stack of open (cat, name, begin_ts) *)
+  attrib : Attrib.t;
   async_open : (string * string * int, int) Hashtbl.t;
   (* (cat, name, id) -> begin_ts *)
-  mutable unmatched : int;
+  mutable async_unmatched : int;
 }
-
-let create () =
-  {
-    rows = Hashtbl.create 32;
-    sync_stack = Hashtbl.create 16;
-    async_open = Hashtbl.create 64;
-    unmatched = 0;
-  }
 
 let row t key =
   match Hashtbl.find_opt t.rows key with
   | Some r -> r
   | None ->
-    let r = { samples = Sim.Stats.Samples.create (); total_ns = 0 } in
+    let r = { samples = Sim.Stats.Samples.create (); total_ns = 0; excl_ns = 0 } in
     Hashtbl.add t.rows key r;
     r
 
-let record t ~cat ~name dur =
+let record t ~cat ~name ~excl dur =
   let r = row t (cat, name) in
   Sim.Stats.Samples.add r.samples dur;
-  r.total_ns <- r.total_ns + dur
+  r.total_ns <- r.total_ns + dur;
+  r.excl_ns <- r.excl_ns + excl
 
-let stack t key =
-  match Hashtbl.find_opt t.sync_stack key with
-  | Some s -> s
-  | None ->
-    let s = ref [] in
-    Hashtbl.add t.sync_stack key s;
-    s
+let create () =
+  let t =
+    {
+      rows = Hashtbl.create 32;
+      attrib = Attrib.create ();
+      async_open = Hashtbl.create 64;
+      async_unmatched = 0;
+    }
+  in
+  Attrib.on_close t.attrib (fun ~cat ~name ~pid:_ ~tid:_ ~inclusive ~exclusive ->
+      record t ~cat ~name ~excl:exclusive inclusive);
+  t
 
 let add t (ev : Sim.Probe.event) =
   match ev.kind with
-  | Sim.Probe.Span_begin ->
-    let s = stack t (ev.pid, ev.tid) in
-    s := (ev.cat, ev.name, ev.ts) :: !s
-  | Sim.Probe.Span_end ->
-    let s = stack t (ev.pid, ev.tid) in
-    (* Pop until the matching begin; skipped frames are begins whose end
-       was lost (e.g. a fiber killed mid-span) and count as unmatched. *)
-    let rec pop = function
-      | [] ->
-        t.unmatched <- t.unmatched + 1;
-        []
-      | (cat, name, ts) :: rest when cat = ev.cat && name = ev.name ->
-        record t ~cat ~name (ev.ts - ts);
-        rest
-      | _skipped :: rest ->
-        t.unmatched <- t.unmatched + 1;
-        pop rest
-    in
-    s := pop !s
+  | Sim.Probe.Span_begin | Sim.Probe.Span_end -> Attrib.add t.attrib ev
   | Sim.Probe.Async_begin ->
     let key = (ev.cat, ev.name, ev.id) in
-    if Hashtbl.mem t.async_open key then t.unmatched <- t.unmatched + 1;
+    if Hashtbl.mem t.async_open key then t.async_unmatched <- t.async_unmatched + 1;
     Hashtbl.replace t.async_open key ev.ts
   | Sim.Probe.Async_end -> (
     let key = (ev.cat, ev.name, ev.id) in
     match Hashtbl.find_opt t.async_open key with
     | Some ts ->
       Hashtbl.remove t.async_open key;
-      record t ~cat:ev.cat ~name:ev.name (ev.ts - ts)
-    | None -> t.unmatched <- t.unmatched + 1)
+      let dur = ev.ts - ts in
+      record t ~cat:ev.cat ~name:ev.name ~excl:dur dur
+    | None -> t.async_unmatched <- t.async_unmatched + 1)
   | Sim.Probe.Instant | Sim.Probe.Counter | Sim.Probe.Meta_process
   | Sim.Probe.Meta_thread ->
     ()
 
-let unmatched t = t.unmatched
+let unmatched t = t.async_unmatched + Attrib.unmatched t.attrib
 
 let rows t =
   Hashtbl.fold (fun (cat, name) r acc -> (cat, name, r.samples, r.total_ns) :: acc) t.rows []
@@ -89,6 +76,14 @@ let find t ~cat ~name =
 
 let total_ns t ~cat ~name =
   match Hashtbl.find_opt t.rows (cat, name) with Some r -> r.total_ns | None -> 0
+
+let exclusive_ns t ~cat ~name =
+  match Hashtbl.find_opt t.rows (cat, name) with Some r -> r.excl_ns | None -> 0
+
+let exclusive_rows t =
+  Hashtbl.fold (fun (cat, name) r acc -> (cat, name, r.excl_ns, r.total_ns) :: acc) t.rows []
+  |> List.sort (fun (c1, n1, _, _) (c2, n2, _, _) ->
+         match compare c1 c2 with 0 -> compare n1 n2 | c -> c)
 
 let pp ppf t =
   let rows = rows t in
@@ -118,5 +113,5 @@ let pp ppf t =
           (Sim.Stats.ns_to_us total)
           share)
       rows;
-    if t.unmatched > 0 then Fmt.pf ppf "(%d unmatched span edges)@." t.unmatched
+    if unmatched t > 0 then Fmt.pf ppf "(%d unmatched span edges)@." (unmatched t)
   end

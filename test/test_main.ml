@@ -28,4 +28,5 @@ let () =
       ("properties", Test_properties.suite);
       ("serving", Test_serving.suite);
       ("monitor", Test_monitor.suite);
+      ("profile", Test_profile.suite);
     ]
