@@ -374,6 +374,9 @@ let chaos_cmd =
         Fmt.pr "%d/%d runs passed@."
           (result.Workload.Chaos.runs - List.length result.Workload.Chaos.failures)
           result.Workload.Chaos.runs;
+        (* Coverage of the generated fault mix — every action kind listed,
+           zeros included, so a silently-dead generator branch is visible. *)
+        Fmt.pr "%a@." Faults.Scenario.pp_coverage result.Workload.Chaos.coverage;
         finish ~repro_file result.Workload.Chaos.failures
       | None, None ->
         let scenario = scenario_or_die ~n scenario_spec in
@@ -442,6 +445,166 @@ let chaos_cmd =
     Term.(
       const run $ setup_logs $ seed_arg $ n_arg $ scenario_arg $ sweep_arg $ replay_arg
       $ repro_arg $ trace_arg)
+
+(* --- verify -------------------------------------------------------------------- *)
+
+(* Model-based property testing (DESIGN.md §19): generated (seed,
+   scenario, history) triples run through the real cluster and judged
+   against the pure KV model; the first failure is shrunk to a minimized,
+   byte-stable repro bundle that --replay re-executes byte-identically. *)
+
+let verify_cmd =
+  let write_file file s =
+    let oc = open_out_bin file in
+    output_string oc s;
+    close_out oc
+  in
+  let run () seed cases ns inject clients ops_per_client budget repro_file replay
+      out_file quiet =
+    let log = if quiet then fun _ -> () else fun s -> Fmt.pr "%s@." s in
+    match replay with
+    | Some file ->
+      (* Replay a committed bundle: re-execute its triple and re-emit the
+         bundle with the verdict observed — byte-identical to the input
+         exactly when the failure still reproduces. *)
+      (match Modelcheck.Repro.of_string (read_file file) with
+      | Error msg ->
+        Fmt.epr "%s@." msg;
+        exit 2
+      | Ok bundle ->
+        let r, bytes = Modelcheck.Verify.replay bundle in
+        Fmt.pr "replay: expected %s, observed %s@."
+          (Modelcheck.Conformance.verdict_to_string
+             bundle.Modelcheck.Repro.b_verdict)
+          (Modelcheck.Conformance.verdict_to_string r.Modelcheck.Shrink.verdict);
+        (match r.Modelcheck.Shrink.witness with
+        | Some w -> Fmt.pr "%a@." Modelcheck.Conformance.pp_witness w
+        | None -> ());
+        List.iter
+          (fun v -> Fmt.pr "invariant: %a@." Mu.Invariants.pp_violation v)
+          r.Modelcheck.Shrink.outcome.Workload.Chaos.violations;
+        (match out_file with
+        | Some out ->
+          write_file out bytes;
+          Fmt.pr "re-emitted bundle written to %s@." out
+        | None -> ());
+        exit
+          (if r.Modelcheck.Shrink.verdict = bundle.Modelcheck.Repro.b_verdict
+           then 0
+           else 1))
+    | None ->
+      let report =
+        Modelcheck.Verify.sweep ~cases ~ns ~inject ~clients ~ops_per_client
+          ~budget ~log ~seed:(Int64.of_int seed) ()
+      in
+      Fmt.pr "%d/%d cases conformant@."
+        (report.Modelcheck.Verify.cases - report.Modelcheck.Verify.failed)
+        report.Modelcheck.Verify.cases;
+      Fmt.pr "%a@." Faults.Scenario.pp_coverage report.Modelcheck.Verify.coverage;
+      Fmt.pr "history mix: %a@." Modelcheck.History.pp_stats
+        report.Modelcheck.Verify.op_stats;
+      (match report.Modelcheck.Verify.first_witness with
+      | Some w -> Fmt.pr "first failure: %a@." Modelcheck.Conformance.pp_witness w
+      | None -> ());
+      (match report.Modelcheck.Verify.minimized with
+      | None -> exit 0
+      | Some (bundle, shrunk) ->
+        Fmt.pr "minimized to %d ops, %d fault events in %d reruns%s@."
+          (Modelcheck.Shrink.ops bundle.Modelcheck.Repro.b_triple)
+          (List.length
+             bundle.Modelcheck.Repro.b_triple.Modelcheck.Shrink.t_scenario
+               .Faults.Scenario.events)
+          shrunk.Modelcheck.Shrink.reruns
+          (if shrunk.Modelcheck.Shrink.exhausted then
+             " (budget exhausted — may not be minimal)"
+           else "");
+        (match shrunk.Modelcheck.Shrink.final.Modelcheck.Shrink.witness with
+        | Some w -> Fmt.pr "%a@." Modelcheck.Conformance.pp_witness w
+        | None -> ());
+        (match repro_file with
+        | Some file ->
+          write_file file (Modelcheck.Repro.to_string bundle);
+          Fmt.pr "minimized repro bundle written to %s@." file
+        | None ->
+          Fmt.pr "minimized repro bundle: %s@."
+            (Modelcheck.Repro.to_string bundle));
+        exit 1)
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "cases" ] ~docv:"N" ~doc:"Generated (scenario, history) cases to run.")
+  in
+  let ns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 3; 5 ]
+      & info [ "ns" ] ~docv:"N,M"
+          ~doc:"Cluster sizes the cases cycle through.")
+  in
+  let inject_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-lose-put" ] ~docv:"K"
+          ~doc:
+            "Self-test: silently lose every $(docv)-th Put on all replicas (0 = \
+             off). The sweep must catch and shrink it.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "clients" ] ~docv:"N" ~doc:"Scripted clients per case.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "ops-per-client" ] ~docv:"N" ~doc:"Ops per scripted client.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Max candidate re-executions the shrinker may spend.")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:"On failure, write the minimized repro bundle to $(docv).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"BUNDLE"
+          ~doc:
+            "Replay a minimized repro bundle instead of sweeping; exits 0 iff the \
+             recorded verdict reproduces.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "With --replay: write the re-emitted bundle to $(docv) (byte-identical \
+             to the input when the failure reproduces).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-case log lines.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Model-based property testing: run generated fault scenarios and client \
+          histories against the cluster, check every reply against a pure \
+          reference model, and shrink the first failure to a minimized repro \
+          bundle.")
+    Term.(
+      const run $ setup_logs $ seed_arg $ cases_arg $ ns_arg $ inject_arg
+      $ clients_arg $ ops_arg $ budget_arg $ repro_arg $ replay_arg $ out_arg
+      $ quiet_arg)
 
 (* --- watch -------------------------------------------------------------------- *)
 
@@ -1177,5 +1340,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "mu_demo" ~doc)
           [ latency_cmd; compare_cmd; failover_cmd; throughput_cmd; detectors_cmd;
-            metrics_cmd; chaos_cmd; watch_cmd; explain_cmd; serve_cmd; profile_cmd;
-            report_cmd ]))
+            metrics_cmd; chaos_cmd; verify_cmd; watch_cmd; explain_cmd; serve_cmd;
+            profile_cmd; report_cmd ]))

@@ -13,6 +13,17 @@ type command =
 
 type reply = Value of string | Not_found | Stored | Deleted
 
+let pp_command ppf = function
+  | Get { key } -> Fmt.pf ppf "get(%s)" key
+  | Put { key; value } -> Fmt.pf ppf "put(%s=%s)" key value
+  | Delete { key } -> Fmt.pf ppf "delete(%s)" key
+
+let pp_reply ppf = function
+  | Value v -> Fmt.pf ppf "value(%s)" v
+  | Not_found -> Fmt.string ppf "not_found"
+  | Stored -> Fmt.string ppf "stored"
+  | Deleted -> Fmt.string ppf "deleted"
+
 let apply t cmd =
   match cmd with
   | Get { key } -> (
@@ -137,14 +148,42 @@ let restore data =
   done;
   t
 
+(* Test-only injected SMR bug (DESIGN.md §19): every k-th Put is
+   acknowledged but not applied. Per-instance counter: every replica
+   applies the identical committed sequence, so all replicas lose the
+   same writes and the divergence is purely client-visible. *)
+let test_only_lose_put_every = ref 0
+
 let smr_app () =
   let store = ref (create ()) in
+  let puts_applied = ref 0 in
   {
     Mu.Smr.apply =
       (fun payload ->
         match decode_command payload with
         | Some (client, req_id, cmd) ->
-          encode_reply (apply_dedup !store ~client ~req_id cmd)
+          let lose = !test_only_lose_put_every in
+          let fresh =
+            (* Dedup check first so a re-delivered Put is not counted (or
+               lost) twice — replays must see the recorded reply. *)
+            match Hashtbl.find_opt !store.last_applied client with
+            | Some (last, _) when last = req_id -> false
+            | _ -> true
+          in
+          if
+            lose > 0 && fresh
+            &&
+            match cmd with
+            | Put _ ->
+              incr puts_applied;
+              !puts_applied mod lose = 0
+            | _ -> false
+          then begin
+            let reply = encode_reply Stored in
+            Hashtbl.replace !store.last_applied client (req_id, reply);
+            reply
+          end
+          else encode_reply (apply_dedup !store ~client ~req_id cmd)
         | None -> Bytes.empty);
     snapshot = (fun () -> snapshot !store);
     install = (fun data -> store := restore data);

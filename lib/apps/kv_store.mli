@@ -24,6 +24,9 @@ type reply =
   | Stored
   | Deleted
 
+val pp_command : command Fmt.t
+val pp_reply : reply Fmt.t
+
 val apply : t -> command -> reply
 (** Execute a command directly (no dedup). *)
 
@@ -48,6 +51,17 @@ val decode_reply : Bytes.t -> reply option
 val smr_app : unit -> Mu.Smr.app
 (** A replica application: decodes commands, applies them with dedup, and
     supports checkpoint/restore for membership changes (§5.4). *)
+
+val test_only_lose_put_every : int ref
+(** Deliberate replicated-state-machine bug for the modelcheck self-test
+    (DESIGN.md §19); [0] (the default) disables it completely. When set
+    to [k > 0], every [k]-th [Put] a {!smr_app} instance applies is
+    acknowledged [Stored] but silently not executed — a lost update.
+    Every replica applies the same committed sequence, so all replicas
+    lose the {e same} writes: the Appendix A invariants stay clean and
+    only a client-visible conformance check (a read observing the stale
+    value) can catch it. Counted per app instance, in log order, so runs
+    remain deterministic per seed. *)
 
 (** {1 Checkpointing} *)
 

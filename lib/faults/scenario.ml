@@ -316,6 +316,84 @@ let by_name name ~n =
   | "kill-restart" -> Some (kill_restart ~n)
   | _ -> None
 
+(* --- coverage ------------------------------------------------------------ *)
+
+type coverage = {
+  scenarios : int;
+  action_counts : (string * int) list;
+  partition_shapes : (string * int) list;
+  crashes : int;
+  restarts : int;
+}
+
+(* Fixed kind order: coverage output is byte-stable and always names every
+   class, so an unexercised one reads as an explicit zero. *)
+let action_kinds =
+  [ "pause"; "resume"; "stop_process"; "kill_host"; "partition"; "block"; "unblock";
+    "delay"; "loss"; "dup"; "heal"; "perm_fail"; "restart" ]
+
+let action_kind = function
+  | Pause _ -> "pause"
+  | Resume _ -> "resume"
+  | Stop_process _ -> "stop_process"
+  | Kill_host _ -> "kill_host"
+  | Partition _ -> "partition"
+  | Block _ -> "block"
+  | Unblock _ -> "unblock"
+  | Delay _ -> "delay"
+  | Loss _ -> "loss"
+  | Dup _ -> "dup"
+  | Heal -> "heal"
+  | Perm_fail _ -> "perm_fail"
+  | Restart _ -> "restart"
+
+let coverage ts =
+  let counts = Hashtbl.create 16 in
+  let shapes = Hashtbl.create 8 in
+  let bump tbl k = Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0) in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun e ->
+          bump counts (action_kind e.action);
+          match e.action with
+          | Partition (a, b) ->
+            let la = List.length a and lb = List.length b in
+            bump shapes (Printf.sprintf "%d|%d" (min la lb) (max la lb))
+          | _ -> ())
+        t.events)
+    ts;
+  let count k = Option.value (Hashtbl.find_opt counts k) ~default:0 in
+  {
+    scenarios = List.length ts;
+    action_counts = List.map (fun k -> (k, count k)) action_kinds;
+    partition_shapes =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) shapes []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    crashes = count "stop_process" + count "kill_host";
+    restarts = count "restart";
+  }
+
+let restart_fraction c =
+  if c.crashes = 0 then 0.0 else float_of_int c.restarts /. float_of_int c.crashes
+
+let pp_coverage ppf c =
+  Fmt.pf ppf "coverage over %d scenario(s):" c.scenarios;
+  List.iter (fun (k, n) -> Fmt.pf ppf "@,  %-14s %4d" k n) c.action_counts;
+  Fmt.pf ppf "@,  partition shapes: %s"
+    (if c.partition_shapes = [] then "(none)"
+     else
+       String.concat ", "
+         (List.map (fun (s, n) -> Printf.sprintf "%s x%d" s n) c.partition_shapes));
+  Fmt.pf ppf "@,  restart fraction: %.2f (%d restart(s) / %d crash(es))"
+    (restart_fraction c) c.restarts c.crashes
+
+(* --- shrinking ----------------------------------------------------------- *)
+
+let drop_event t i =
+  if i < 0 || i >= List.length t.events then None
+  else Some { t with events = List.filteri (fun j _ -> j <> i) t.events }
+
 (* --- random generation --------------------------------------------------- *)
 
 (* Scenarios must keep the cluster able to make progress once healed, or

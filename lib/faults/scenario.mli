@@ -82,6 +82,40 @@ val kill_restart : n:int -> t
 val named : string list
 val by_name : string -> n:int -> t option
 
+(** {1 Coverage}
+
+    Aggregate statistics over a batch of (typically generated) scenarios,
+    so a sweep can report which fault classes it actually exercised —
+    every action kind is listed, explicitly at zero when unexercised, so
+    a silently-dead branch of the generator is visible in the log rather
+    than hidden by omission. *)
+
+type coverage = {
+  scenarios : int;
+  action_counts : (string * int) list;
+      (** One entry per action kind, in a fixed order, including zeros. *)
+  partition_shapes : (string * int) list;
+      (** Partition side-size shapes, e.g. [("1|2", 4)], sorted. *)
+  crashes : int;  (** stop_process + kill_host events. *)
+  restarts : int;
+}
+
+val coverage : t list -> coverage
+
+val restart_fraction : coverage -> float
+(** Restarts over crashes (0 when no crashes): how much of the crash
+    budget was crash-{e recovery} rather than crash-stop. *)
+
+val pp_coverage : coverage Fmt.t
+
+(** {1 Shrinking} *)
+
+val drop_event : t -> int -> t option
+(** [drop_event t i] removes the [i]-th event of [t.events] (listing
+    order); [None] if out of range. Used by the modelcheck shrinker —
+    callers must re-{!validate}, since dropping a stop or kill can orphan
+    a later restart. *)
+
 (** {1 Random scenarios} *)
 
 val generate : Sim.Rng.t -> n:int -> horizon:int -> t

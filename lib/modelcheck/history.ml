@@ -1,0 +1,44 @@
+(* History generation. Explicit loops, not List.init: the PRNG draw
+   order is part of the determinism contract. *)
+
+let default_keys = [| "a"; "b"; "c" |]
+
+let generate ?(keys = default_keys) ?(think_max = 2_000_000) ~clients
+    ~ops_per_client rng =
+  let out = ref [] in
+  for proc = 1 to clients do
+    let ops = ref [] in
+    for req = 1 to ops_per_client do
+      let think = if think_max > 0 then Sim.Rng.int rng think_max else 0 in
+      let key = keys.(Sim.Rng.int rng (Array.length keys)) in
+      let roll = Sim.Rng.int rng 100 in
+      let cmd =
+        if roll < 45 then
+          Apps.Kv_store.Put { key; value = Printf.sprintf "v%d.%d" proc req }
+        else if roll < 85 then Apps.Kv_store.Get { key }
+        else Apps.Kv_store.Delete { key }
+      in
+      ops := { Workload.Chaos.s_think = think; s_req = req; s_cmd = cmd } :: !ops
+    done;
+    out := List.rev !ops :: !out
+  done;
+  List.rev !out
+
+type stats = { h_ops : int; h_puts : int; h_gets : int; h_deletes : int }
+
+let stats history =
+  List.fold_left
+    (List.fold_left (fun s (op : Workload.Chaos.scripted_op) ->
+         match op.s_cmd with
+         | Apps.Kv_store.Put _ ->
+           { s with h_ops = s.h_ops + 1; h_puts = s.h_puts + 1 }
+         | Apps.Kv_store.Get _ ->
+           { s with h_ops = s.h_ops + 1; h_gets = s.h_gets + 1 }
+         | Apps.Kv_store.Delete _ ->
+           { s with h_ops = s.h_ops + 1; h_deletes = s.h_deletes + 1 }))
+    { h_ops = 0; h_puts = 0; h_gets = 0; h_deletes = 0 }
+    history
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d ops (%d put, %d get, %d delete)" s.h_ops s.h_puts s.h_gets
+    s.h_deletes

@@ -1,0 +1,30 @@
+(** Random client histories for the conformance runner.
+
+    A history is one op list per client, in the exact shape
+    {!Workload.Chaos.run}'s [script] option replays: every op carries its
+    request id, its command (values included, so shrinking never rewrites
+    a surviving op) and a think gap that spreads the history across the
+    scenario's fault window. Generation draws from a caller-owned
+    {!Sim.Rng.t} — same stream position, same history — which is how the
+    verify sweep derives scenario and history from one per-case seed. *)
+
+val generate :
+  ?keys:string array ->
+  ?think_max:int ->
+  clients:int ->
+  ops_per_client:int ->
+  Sim.Rng.t ->
+  Workload.Chaos.scripted_op list list
+(** Mix: 45% [Put], 40% [Get], 15% [Delete] over [keys] (default
+    [[|"a"; "b"; "c"|]]); request ids run 1..[ops_per_client] per client;
+    values are ["v<proc>.<req>"]; think gaps are uniform in
+    [\[0, think_max)] (default 2ms virtual). *)
+
+type stats = { h_ops : int; h_puts : int; h_gets : int; h_deletes : int }
+
+val stats : Workload.Chaos.scripted_op list list -> stats
+(** Op mix actually generated — logged by the sweep next to the fault
+    coverage, so a history generator that silently degenerates (all
+    reads, say) is visible. *)
+
+val pp_stats : stats Fmt.t

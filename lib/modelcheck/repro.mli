@@ -1,0 +1,20 @@
+(** Byte-stable repro bundles (schema [mu-verify-repro/1]).
+
+    A bundle is everything {!Shrink.run} needs to re-execute a minimized
+    failing triple — seed, cluster size, injection flag, fault scenario,
+    scripted history — plus the expected verdict. The codec is canonical:
+    printing preserves a fixed field order and {!of_string} followed by
+    {!to_string} is the identity on any bundle this module printed, so
+    CI can replay a committed bundle and [cmp] the re-emitted bytes. *)
+
+type t = {
+  b_triple : Shrink.triple;
+  b_verdict : Conformance.verdict;
+}
+
+val schema : string
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Strict: unknown schema, missing fields, bad op or verdict strings are
+    errors, with a field path in the message. *)

@@ -623,7 +623,27 @@ let serving_leader t =
            && Replica.is_leader r
            && Sim.Host.liveness r.Replica.host = Sim.Host.Running)
   in
-  match candidates with [ r ] -> Some r | [] | _ :: _ :: _ -> None
+  match candidates with
+  | [] -> None
+  | [ r ] -> Some r
+  | _ :: _ :: _ ->
+    (* Competing claimants — e.g. a partitioned minority replica that
+       elected itself and cannot hear the real leader demote it. The one
+       actually serving holds write permission on a majority of logs
+       (Appendix A.1); each log records a single holder and majorities
+       intersect, so at most one claimant can qualify. *)
+    let members =
+      Array.to_list t.replicas
+      |> List.filter (fun (r : Replica.t) -> not r.Replica.removed)
+    in
+    let majority = (List.length members / 2) + 1 in
+    let grants (c : Replica.t) =
+      List.length
+        (List.filter
+           (fun (r : Replica.t) -> r.Replica.perm_holder = Some c.Replica.id)
+           members)
+    in
+    List.find_opt (fun c -> grants c >= majority) candidates
 
 (* A request captured by a leader that then fails stays parked in that
    leader's hands; like any SMR client, we retransmit after a timeout.

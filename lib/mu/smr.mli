@@ -54,7 +54,11 @@ val leader : t -> Replica.t option
 
 val serving_leader : t -> Replica.t option
 (** Like {!leader}, but ignores claimants whose host is paused or crashed
-    (a failed ex-leader keeps its stale role until it runs again). *)
+    (a failed ex-leader keeps its stale role until it runs again). When
+    several running replicas claim the role — a partitioned minority
+    replica elects itself and never hears the real leader — the claimant
+    holding write permission on a majority of logs wins (Appendix A.1:
+    each log records a single holder, so at most one claimant can). *)
 
 val submit_async : ?retry:bool -> t -> bytes -> bytes Sim.Engine.Ivar.ivar
 (** Enqueue a client request; the ivar is filled with the application

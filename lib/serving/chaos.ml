@@ -167,7 +167,8 @@ let run ?(clients_per_shard = 2) ?(ops_per_client = 20) ?(think = 100_000)
             if not (String.length v >= String.length stamp
                     && String.sub v 0 (String.length stamp) = stamp)
             then isolated := false
-          | Workload.Linearizability.Read None | Workload.Linearizability.Write _ -> ())
+          | Workload.Linearizability.Read None
+          | Workload.Linearizability.Write _ | Workload.Linearizability.Erase -> ())
         h)
     history;
   let violations = ref [] in

@@ -3,6 +3,17 @@
    the paper's claims rest on — the Appendix A invariants over replica
    state and linearizability of the observed history (§2.2). *)
 
+type scripted_op = { s_think : int; s_req : int; s_cmd : Apps.Kv_store.command }
+
+type recorded = {
+  r_proc : int;
+  r_req : int;
+  r_invoked : int;
+  r_responded : int;
+  r_cmd : Apps.Kv_store.command;
+  r_reply : Apps.Kv_store.reply option;
+}
+
 type outcome = {
   seed : int64;
   n : int;
@@ -11,6 +22,8 @@ type outcome = {
   ops : int;
   committed : int;
   linearizable : bool;
+  witness : Linearizability.witness option;
+  record : recorded list;
   violations : Mu.Invariants.violation list;
   rejoins : Mu.Smr.rejoin list;
   shed : int;
@@ -42,7 +55,13 @@ let pp_outcome ppf o =
          @
          match o.violations with
          | [] -> []
-         | vs -> [ Printf.sprintf "%d invariant violation(s)" (List.length vs) ]))
+         | vs -> [ Printf.sprintf "%d invariant violation(s)" (List.length vs) ]));
+  (* Passing outcomes keep their historical one-line format; the witness
+     only ever extends a failing line, so existing golden output (CI
+     double-run [cmp]) is unchanged. *)
+  match o.witness with
+  | None -> ()
+  | Some w -> Fmt.pf ppf "@\n  %a" Linearizability.pp_witness w
 
 (* One client fiber: closed-loop Puts/Gets on a small shared key space,
    each op recorded with its invocation/response times. Request ids make
@@ -106,9 +125,96 @@ let client_fiber e smr ~proc ~ops ~think ~keys ~history ~pending ~on_done =
   done;
   on_done ()
 
+(* One scripted client fiber: replays a generated op list verbatim —
+   think gap, request id and command all come from the script — and
+   records every decoded reply so the modelcheck conformance layer can
+   compare the run against the pure reference model. Shed replies retry
+   with the same back-off as the random clients, under the same
+   invocation time. *)
+let scripted_fiber e smr ~proc ~script ~records ~pending ~on_done =
+  Mu.Smr.wait_live smr;
+  List.iter
+    (fun { s_think; s_req; s_cmd } ->
+      if s_think > 0 then Sim.Engine.sleep e s_think;
+      let payload = Apps.Kv_store.encode_command ~client:proc ~req_id:s_req s_cmd in
+      let invoked = Sim.Engine.now e in
+      Hashtbl.replace pending proc (invoked, s_req, s_cmd);
+      let rec attempt () =
+        let reply = Mu.Smr.submit smr payload in
+        if Mu.Smr.is_retryable reply then begin
+          Sim.Engine.sleep e 500_000;
+          attempt ()
+        end
+        else reply
+      in
+      let key =
+        match s_cmd with
+        | Apps.Kv_store.Get { key } | Apps.Kv_store.Delete { key } -> key
+        | Apps.Kv_store.Put { key; _ } -> key
+      in
+      let reply =
+        Sim.Engine.span_scope e
+          ~args:
+            [
+              ("proc", string_of_int proc);
+              ("req", string_of_int s_req);
+              ("key", key);
+              ( "op",
+                match s_cmd with
+                | Apps.Kv_store.Put _ -> "put"
+                | Apps.Kv_store.Get _ -> "get"
+                | Apps.Kv_store.Delete _ -> "delete" );
+            ]
+          "client_op" attempt
+      in
+      let responded = Sim.Engine.now e in
+      Hashtbl.remove pending proc;
+      records :=
+        {
+          r_proc = proc;
+          r_req = s_req;
+          r_invoked = invoked;
+          r_responded = responded;
+          r_cmd = s_cmd;
+          r_reply = Apps.Kv_store.decode_reply reply;
+        }
+        :: !records)
+    script;
+  on_done ()
+
+(* Linearizability view of one recorded op. Deletes are erases; a write
+   or erase that never answered stays with an open interval (it may have
+   taken effect); a read that never answered (or answered garbage)
+   observed nothing and is dropped. *)
+let history_of_recorded r =
+  let key =
+    match r.r_cmd with
+    | Apps.Kv_store.Get { key } | Apps.Kv_store.Delete { key } -> key
+    | Apps.Kv_store.Put { key; _ } -> key
+  in
+  let kind =
+    match (r.r_cmd, r.r_reply) with
+    | Apps.Kv_store.Put { value; _ }, _ -> Some (Linearizability.Write value)
+    | Apps.Kv_store.Delete _, _ -> Some Linearizability.Erase
+    | Apps.Kv_store.Get _, Some (Apps.Kv_store.Value v) ->
+      Some (Linearizability.Read (Some v))
+    | Apps.Kv_store.Get _, Some _ -> Some (Linearizability.Read None)
+    | Apps.Kv_store.Get _, None -> None
+  in
+  Option.map
+    (fun kind ->
+      {
+        Linearizability.proc = r.r_proc;
+        invoked = r.r_invoked;
+        responded = r.r_responded;
+        key;
+        kind;
+      })
+    kind
+
 let run ?trace ?metrics ?on_engine ?(provenance = false) ?(clients = 4)
     ?(ops_per_client = 25) ?(think = 0) ?(horizon = 2_000_000_000)
-    ?(durable = true) ?(queue_limit = 0) ~seed ~n scenario =
+    ?(durable = true) ?(queue_limit = 0) ?script ~seed ~n scenario =
   let e = Sim.Engine.create ~seed () in
   (match trace with Some tr -> Trace.Tracer.attach tr e | None -> ());
   if provenance then Sim.Engine.set_provenance e true;
@@ -155,74 +261,122 @@ let run ?trace ?metrics ?on_engine ?(provenance = false) ?(clients = 4)
     ~restart:(fun pid -> Mu.Smr.restart_replica smr ~id:pid)
     scenario;
   let history = ref [] in
+  let records = ref [] in
   let pending = Hashtbl.create 8 in
-  let remaining = ref clients in
+  let spending = Hashtbl.create 8 in
+  let nclients =
+    match script with Some ss -> List.length ss | None -> clients
+  in
+  let remaining = ref nclients in
   let completed = ref false in
   let keys = [| "a"; "b"; "c" |] in
-  for proc = 1 to clients do
-    Sim.Engine.spawn e
-      ~name:(Printf.sprintf "chaos-client-%d" proc)
-      (fun () ->
-        client_fiber e smr ~proc ~ops:ops_per_client ~think ~keys ~history ~pending
-          ~on_done:(fun () ->
-            decr remaining;
-            if !remaining = 0 then begin
-              (* Quiesce: run past the last scheduled restart (clients
-                 often finish before a late restart fires), give any
-                 rejoin pipeline a bounded window to reach log parity,
-                 then let stragglers (replayers, recycler, elections
-                 after the last fault) settle before the state checks.
-                 Only restarts extend the run — they are the one fault
-                 whose effect (a completed rejoin) the outcome reports. *)
-              let restart_horizon =
-                List.fold_left
-                  (fun a ev ->
-                    match ev.Faults.Scenario.action with
-                    | Faults.Scenario.Restart _ -> max a ev.Faults.Scenario.at
-                    | _ -> a)
-                  0 scenario.Faults.Scenario.events
-              in
-              if Sim.Engine.now e < restart_horizon + 1_000 then
-                Sim.Engine.sleep e (restart_horizon + 1_000 - Sim.Engine.now e);
-              let budget = ref 100 in
-              while Mu.Smr.restarts_in_flight smr > 0 && !budget > 0 do
-                decr budget;
-                Sim.Engine.sleep e 1_000_000
-              done;
-              Sim.Engine.sleep e 5_000_000;
-              completed := true;
-              Mu.Smr.stop smr;
-              Sim.Engine.halt e
-            end))
-  done;
+  let on_done () =
+    decr remaining;
+    if !remaining = 0 then begin
+      (* Quiesce: run past the last scheduled restart (clients
+         often finish before a late restart fires), give any
+         rejoin pipeline a bounded window to reach log parity,
+         then let stragglers (replayers, recycler, elections
+         after the last fault) settle before the state checks.
+         Only restarts extend the run — they are the one fault
+         whose effect (a completed rejoin) the outcome reports. *)
+      let restart_horizon =
+        List.fold_left
+          (fun a ev ->
+            match ev.Faults.Scenario.action with
+            | Faults.Scenario.Restart _ -> max a ev.Faults.Scenario.at
+            | _ -> a)
+          0 scenario.Faults.Scenario.events
+      in
+      if Sim.Engine.now e < restart_horizon + 1_000 then
+        Sim.Engine.sleep e (restart_horizon + 1_000 - Sim.Engine.now e);
+      let budget = ref 100 in
+      while Mu.Smr.restarts_in_flight smr > 0 && !budget > 0 do
+        decr budget;
+        Sim.Engine.sleep e 1_000_000
+      done;
+      Sim.Engine.sleep e 5_000_000;
+      completed := true;
+      Mu.Smr.stop smr;
+      Sim.Engine.halt e
+    end
+  in
+  (match script with
+  | Some scripts ->
+    List.iteri
+      (fun i script ->
+        let proc = i + 1 in
+        Sim.Engine.spawn e
+          ~name:(Printf.sprintf "chaos-client-%d" proc)
+          (fun () ->
+            scripted_fiber e smr ~proc ~script ~records ~pending:spending
+              ~on_done))
+      scripts
+  | None ->
+    for proc = 1 to clients do
+      Sim.Engine.spawn e
+        ~name:(Printf.sprintf "chaos-client-%d" proc)
+        (fun () ->
+          client_fiber e smr ~proc ~ops:ops_per_client ~think ~keys ~history
+            ~pending ~on_done)
+    done);
   Sim.Engine.run ~until:horizon e;
-  let history = !history in
   (* A run that stalled (e.g. a scenario that left no majority) still gets
      checked for safety: writes that never responded may or may not have
      taken effect, so they stay in the history with an open interval —
      the checker may linearize them anywhere after their invocation.
      Unresponded reads observed nothing and are dropped. *)
-  let history =
-    if !completed then history
-    else
-      Hashtbl.fold
-        (fun proc (invoked, key, cmd) acc ->
-          match cmd with
-          | Apps.Kv_store.Put { value; _ } ->
+  let record, history =
+    match script with
+    | None ->
+      let history = !history in
+      let history =
+        if !completed then history
+        else
+          Hashtbl.fold
+            (fun proc (invoked, key, cmd) acc ->
+              match cmd with
+              | Apps.Kv_store.Put { value; _ } ->
+                {
+                  Linearizability.proc;
+                  invoked;
+                  responded = max_int;
+                  key;
+                  kind = Linearizability.Write value;
+                }
+                :: acc
+              | Apps.Kv_store.Get _ | Apps.Kv_store.Delete _ -> acc)
+            pending history
+      in
+      ([], history)
+    | Some _ ->
+      let record =
+        Hashtbl.fold
+          (fun proc (invoked, req, cmd) acc ->
             {
-              Linearizability.proc;
-              invoked;
-              responded = max_int;
-              key;
-              kind = Linearizability.Write value;
+              r_proc = proc;
+              r_req = req;
+              r_invoked = invoked;
+              r_responded = max_int;
+              r_cmd = cmd;
+              r_reply = None;
             }
-            :: acc
-          | Apps.Kv_store.Get _ | Apps.Kv_store.Delete _ -> acc)
-        pending history
+            :: acc)
+          spending !records
+      in
+      let record =
+        List.sort
+          (fun a b ->
+            compare (a.r_invoked, a.r_proc, a.r_req)
+              (b.r_invoked, b.r_proc, b.r_req))
+          record
+      in
+      (record, List.filter_map history_of_recorded record)
   in
   (* Re-read the replica array: restarts swap entries in place, and the
      safety checks must see the final incarnations. *)
   let replicas = Mu.Smr.replicas smr in
+  let witness = Linearizability.witness history in
   {
     seed;
     n;
@@ -231,7 +385,9 @@ let run ?trace ?metrics ?on_engine ?(provenance = false) ?(clients = 4)
     ops = List.length history;
     committed =
       Array.fold_left (fun acc r -> max acc (Mu.Log.fuo r.Mu.Replica.log)) 0 replicas;
-    linearizable = Linearizability.check history;
+    linearizable = Option.is_none witness;
+    witness;
+    record;
     violations = Mu.Invariants.check_all replicas;
     rejoins = Mu.Smr.rejoins smr;
     shed = Mu.Smr.shed_requests smr;
@@ -285,7 +441,11 @@ let parse_repro s =
 
 (* --- randomized sweep ----------------------------------------------------- *)
 
-type sweep = { runs : int; failures : outcome list }
+type sweep = {
+  runs : int;
+  failures : outcome list;
+  coverage : Faults.Scenario.coverage;
+}
 
 (* Each iteration derives its own seed from the sweep's root PRNG; the
    scenario is generated from that seed and the engine is seeded with it
@@ -294,14 +454,20 @@ let sweep ?(count = 50) ?(ns = [ 3; 5 ]) ?log ~seed () =
   let root = Sim.Rng.create seed in
   let ns = Array.of_list ns in
   let failures = ref [] in
+  let scenarios = ref [] in
   for i = 0 to count - 1 do
     let run_seed = Sim.Rng.int64 root in
     let n = ns.(i mod Array.length ns) in
     let scenario =
       Faults.Scenario.generate (Sim.Rng.create run_seed) ~n ~horizon:40_000_000
     in
+    scenarios := scenario :: !scenarios;
     let o = run ~seed:run_seed ~n scenario in
     if not (passed o) then failures := o :: !failures;
     match log with Some f -> f i o | None -> ()
   done;
-  { runs = count; failures = List.rev !failures }
+  {
+    runs = count;
+    failures = List.rev !failures;
+    coverage = Faults.Scenario.coverage (List.rev !scenarios);
+  }

@@ -13,6 +13,29 @@
     byte, including any attached trace — which makes {!repro_json} a
     complete reproduction of a failure. *)
 
+(** {1 Scripted histories}
+
+    The modelcheck conformance runner (lib/modelcheck) drives the same
+    harness with a {e generated} history instead of the built-in random
+    clients: one op list per client, each op carrying its request id and
+    a think gap, and every response recorded verbatim so it can be
+    checked against the pure reference model. *)
+
+type scripted_op = {
+  s_think : int;  (** Virtual-ns pause before submitting this op. *)
+  s_req : int;  (** Request id (unique per client; dedup identity). *)
+  s_cmd : Apps.Kv_store.command;
+}
+
+type recorded = {
+  r_proc : int;
+  r_req : int;
+  r_invoked : int;
+  r_responded : int;  (** [max_int] = never answered (open interval). *)
+  r_cmd : Apps.Kv_store.command;
+  r_reply : Apps.Kv_store.reply option;  (** [None] = unanswered. *)
+}
+
 type outcome = {
   seed : int64;
   n : int;
@@ -24,6 +47,11 @@ type outcome = {
   ops : int;  (** Operations in the checked history. *)
   committed : int;  (** Highest FUO reached by any replica. *)
   linearizable : bool;
+  witness : Linearizability.witness option;
+      (** Minimal failing sub-history when not linearizable. *)
+  record : recorded list;
+      (** Scripted runs only: every op with its observed reply, sorted by
+          (invocation, proc, req). Empty for the built-in random clients. *)
   violations : Mu.Invariants.violation list;
   rejoins : Mu.Smr.rejoin list;
       (** Completed kill→restart→rejoin pipelines (oldest first). *)
@@ -35,6 +63,8 @@ val passed : outcome -> bool
 (** Completed, linearizable, and invariant-clean. *)
 
 val pp_outcome : outcome Fmt.t
+(** One line; on a linearizability failure, the minimal counterexample
+    witness follows on indented lines. *)
 
 val run :
   ?trace:Trace.Tracer.t ->
@@ -47,6 +77,7 @@ val run :
   ?horizon:int ->
   ?durable:bool ->
   ?queue_limit:int ->
+  ?script:scripted_op list list ->
   seed:int64 ->
   n:int ->
   Faults.Scenario.t ->
@@ -70,7 +101,13 @@ val run :
     {!Experiments.run_sim} does (new epoch, virtual-time tick fiber);
     [on_engine] runs after the engine is fully configured but before the
     cluster starts — the hook the online monitor attaches through. Both
-    consume no PRNG; the protocol schedule is unchanged. *)
+    consume no PRNG; the protocol schedule is unchanged. [script]
+    replaces the built-in random clients with one fiber per listed
+    client, replaying the given op lists verbatim (client i is proc
+    i+1); [clients]/[ops_per_client]/[think] are ignored and every
+    submitted op lands in {!outcome.record} with its observed reply. A
+    run without [script] is byte-identical to one built before the
+    option existed. *)
 
 (** {1 Minimized repro} *)
 
@@ -83,7 +120,14 @@ val parse_repro : string -> (int64 * int * Faults.Scenario.t, string) result
 
 (** {1 Randomized sweep} *)
 
-type sweep = { runs : int; failures : outcome list }
+type sweep = {
+  runs : int;
+  failures : outcome list;
+  coverage : Faults.Scenario.coverage;
+      (** What the generator actually exercised across the sweep: action
+          counts, partition shapes, crash/restart mix. Surfaced so a
+          sweep can never silently narrow its fault coverage. *)
+}
 
 val sweep :
   ?count:int ->

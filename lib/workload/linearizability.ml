@@ -1,4 +1,4 @@
-type op_kind = Read of string option | Write of string
+type op_kind = Read of string option | Write of string | Erase
 
 type op = { proc : int; invoked : int; responded : int; key : string; kind : op_kind }
 
@@ -30,6 +30,7 @@ let check_key ops =
           let ok, state' =
             match o.kind with
             | Write v -> (true, Some v)
+            | Erase -> (true, None)
             | Read observed -> (observed = state, state)
           in
           if ok then begin
@@ -48,11 +49,103 @@ let check_key ops =
   in
   go n None
 
-let check ops =
-  let by_key = Hashtbl.create 16 in
+let by_key ops =
+  let tbl = Hashtbl.create 16 in
   List.iter
     (fun o ->
-      let cur = Option.value (Hashtbl.find_opt by_key o.key) ~default:[] in
-      Hashtbl.replace by_key o.key (o :: cur))
+      let cur = Option.value (Hashtbl.find_opt tbl o.key) ~default:[] in
+      Hashtbl.replace tbl o.key (o :: cur))
     ops;
-  Hashtbl.fold (fun _ key_ops acc -> acc && check_key (List.rev key_ops)) by_key true
+  (* Deterministic key order: the same history must always yield the same
+     verdict path (and, below, the same witness). *)
+  Hashtbl.fold (fun k key_ops acc -> (k, List.rev key_ops) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let check ops = List.for_all (fun (_, key_ops) -> check_key key_ops) (by_key ops)
+
+(* --- minimal counterexample ---------------------------------------------- *)
+
+type witness = { wkey : string; wops : op list; wpending : op list }
+
+(* An op is safe to *try* removing when no retained read could have
+   observed its effect: reads only constrain, so dropping one never
+   manufactures a failure; a write is only droppable when no retained
+   read observed its value (take a valid linearization of the full
+   history and delete the write — every retained read sat outside the
+   deleted value's reign, so the shorter sequence is still valid); an
+   erase is only droppable when no retained read observed [None] (the
+   erase's reign is the [None] segment it opens). Each candidate is then
+   re-checked to still fail, so the witness is a genuine counterexample. *)
+let removable retained o =
+  match o.kind with
+  | Read _ -> true
+  | Write v ->
+    not
+      (List.exists
+         (fun r -> r != o && match r.kind with Read (Some u) -> u = v | _ -> false)
+         retained)
+  | Erase ->
+    not
+      (List.exists
+         (fun r -> r != o && match r.kind with Read None -> true | _ -> false)
+         retained)
+
+let minimize_key ops =
+  (* Invocation order with a total tie-break, so the greedy scan —
+     last-to-first, repeated to fixpoint — visits ops in one fixed order
+     regardless of how the caller accumulated the history. *)
+  let ops =
+    List.stable_sort
+      (fun a b -> compare (a.invoked, a.responded, a.proc) (b.invoked, b.responded, b.proc))
+      ops
+  in
+  let current = ref ops in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* Scan from the back: suffix ops fall first, shortening the prefix. *)
+    List.iter
+      (fun o ->
+        let kept = List.filter (fun x -> x != o) !current in
+        if
+          List.memq o !current && removable !current o && kept <> []
+          && not (check_key kept)
+        then begin
+          current := kept;
+          progress := true
+        end)
+      (List.rev !current)
+  done;
+  !current
+
+let witness ops =
+  let rec first_failing = function
+    | [] -> None
+    | (key, key_ops) :: rest ->
+      if check_key key_ops then first_failing rest else Some (key, key_ops)
+  in
+  match first_failing (by_key ops) with
+  | None -> None
+  | Some (key, key_ops) ->
+    let wops = minimize_key key_ops in
+    { wkey = key; wops; wpending = List.filter (fun o -> o.responded = max_int) wops }
+    |> Option.some
+
+let pp_op ppf o =
+  let kind =
+    match o.kind with
+    | Write v -> Printf.sprintf "write %S" v
+    | Erase -> "erase"
+    | Read (Some v) -> Printf.sprintf "read -> %S" v
+    | Read None -> "read -> (none)"
+  in
+  if o.responded = max_int then
+    Fmt.pf ppf "proc %d  [%d, open)      %-18s PENDING" o.proc o.invoked kind
+  else Fmt.pf ppf "proc %d  [%d, %d]  %s" o.proc o.invoked o.responded kind
+
+let pp_witness ppf w =
+  Fmt.pf ppf "key %S: %d-op failing sub-history (%d pending)" w.wkey
+    (List.length w.wops) (List.length w.wpending);
+  (* Forced newlines, not box breaks: the witness is embedded in outcome
+     lines printed outside any formatting box. *)
+  List.iter (fun o -> Fmt.pf ppf "@\n    %a" pp_op o) w.wops

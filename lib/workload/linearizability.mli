@@ -16,11 +16,12 @@
 type op_kind =
   | Read of string option  (** Observed value ([None] = not found). *)
   | Write of string
+  | Erase  (** Delete: sets the register back to [None]. *)
 
 type op = {
   proc : int;  (** Client id (operations of one client never overlap). *)
   invoked : int;  (** Virtual invocation time. *)
-  responded : int;  (** Virtual response time. *)
+  responded : int;  (** Virtual response time ([max_int] = never). *)
   key : string;
   kind : op_kind;
 }
@@ -30,3 +31,36 @@ val check : op list -> bool
 
 val check_key : op list -> bool
 (** Check a single-key history (all ops must share one key). *)
+
+(** {1 Minimal counterexample}
+
+    When a history is not linearizable, a bare [false] forces whoever is
+    debugging to stare at the whole run. {!witness} instead minimizes the
+    failure: it picks the (alphabetically first) failing key and greedily
+    removes operations whose absence keeps the sub-history failing,
+    yielding the shortest failing prefix the minimizer can reach plus the
+    set of still-open (never-responded) operations in it.
+
+    Soundness: every candidate removal is itself re-checked, and a write
+    (or erase) is only dropped when no retained read could have observed
+    its effect — removing an op can otherwise manufacture a spurious
+    violation (a read of a value whose write was deleted). The witness is
+    therefore a genuine sub-history of real events that is non-linearizable
+    on its own. Deterministic: the same history always minimizes to the
+    same witness. *)
+
+type witness = {
+  wkey : string;  (** The failing key. *)
+  wops : op list;  (** Minimal failing sub-history, invocation order. *)
+  wpending : op list;
+      (** Ops in {!wops} with an open response interval — invoked but
+          never answered (crashed leader, horizon cut). Their placement
+          is unconstrained on the right, so they are the usual suspects. *)
+}
+
+val witness : op list -> witness option
+(** [None] iff the history is linearizable ({!check} agreement). *)
+
+val pp_witness : witness Fmt.t
+(** Multi-line rendering: one op per line with real-time intervals and
+    observed results, pending ops flagged. *)

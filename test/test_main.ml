@@ -29,4 +29,5 @@ let () =
       ("serving", Test_serving.suite);
       ("monitor", Test_monitor.suite);
       ("profile", Test_profile.suite);
+      ("modelcheck", Test_modelcheck.suite);
     ]

@@ -1,0 +1,521 @@
+(* Tests for lib/modelcheck: pure reference models, the conformance
+   checker, history generation, the triple shrinker and the repro
+   bundle codec (DESIGN.md §19). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- pure KV model --------------------------------------------------------- *)
+
+let kv_model_semantics () =
+  let open Modelcheck.Model in
+  let m = Kv.empty in
+  let m, r = Kv.apply m ~client:1 ~req_id:1 (Apps.Kv_store.Get { key = "a" }) in
+  check "fresh get" true (r = Apps.Kv_store.Not_found);
+  let m, r =
+    Kv.apply m ~client:1 ~req_id:2 (Apps.Kv_store.Put { key = "a"; value = "x" })
+  in
+  check "put stored" true (r = Apps.Kv_store.Stored);
+  let m, r = Kv.apply m ~client:2 ~req_id:1 (Apps.Kv_store.Get { key = "a" }) in
+  check "get sees put" true (r = Apps.Kv_store.Value "x");
+  (* Replaying the last (client, req) returns the memo, not a re-execution. *)
+  let m, r =
+    Kv.apply m ~client:1 ~req_id:2 (Apps.Kv_store.Put { key = "a"; value = "y" })
+  in
+  check "dup suppressed" true (r = Apps.Kv_store.Stored);
+  check "dup did not re-execute" true (Kv.find m "a" = Some "x");
+  let m, r = Kv.apply m ~client:1 ~req_id:3 (Apps.Kv_store.Delete { key = "a" }) in
+  check "delete deleted" true (r = Apps.Kv_store.Deleted);
+  let _, r = Kv.apply m ~client:1 ~req_id:4 (Apps.Kv_store.Delete { key = "a" }) in
+  check "second delete not found" true (r = Apps.Kv_store.Not_found)
+
+(* The pure book model must emit event-for-event what the real matching
+   engine emits, on generated order flow and on the replace edge cases. *)
+let book_model_matches_engine () =
+  let rng = Sim.Rng.create 11L in
+  let flow = Workload.Generators.order_flow rng in
+  let real = Apps.Order_book.create () in
+  let model = ref Modelcheck.Model.Book.empty in
+  for i = 1 to 400 do
+    let cmd = Workload.Generators.next_order flow in
+    let real_events = Apps.Exchange.apply real cmd in
+    let model', model_events = Modelcheck.Model.Book.apply !model cmd in
+    model := model';
+    if real_events <> model_events then
+      Alcotest.failf "order %d: real %a / model %a" i
+        (Fmt.Dump.list Apps.Order_book.pp_event)
+        real_events
+        (Fmt.Dump.list Apps.Order_book.pp_event)
+        model_events
+  done;
+  check_int "open orders agree" (Apps.Order_book.open_order_count real)
+    (Modelcheck.Model.Book.open_orders !model);
+  check_int "bid qty agrees"
+    (Apps.Order_book.open_qty real Apps.Order_book.Buy)
+    (Modelcheck.Model.Book.open_qty !model Apps.Order_book.Buy)
+
+let book_model_replace_rules () =
+  let real = Apps.Order_book.create () in
+  let model = ref Modelcheck.Model.Book.empty in
+  let step cmd =
+    let real_events = Apps.Exchange.apply real cmd in
+    let model', model_events = Modelcheck.Model.Book.apply !model cmd in
+    model := model';
+    check "replace events agree" true (real_events = model_events)
+  in
+  step (Apps.Exchange.Limit { id = 1; side = Apps.Order_book.Buy; price = 100; qty = 10 });
+  step (Apps.Exchange.Limit { id = 2; side = Apps.Order_book.Buy; price = 100; qty = 10 });
+  (* Pure size decrease keeps priority... *)
+  step (Apps.Exchange.Replace { id = 1; price = None; qty = 5 });
+  (* ...a price change loses it (cancel + re-enter). *)
+  step (Apps.Exchange.Replace { id = 2; price = Some 101; qty = 10 });
+  (* Crossing replace matches immediately. *)
+  step (Apps.Exchange.Limit { id = 3; side = Apps.Order_book.Sell; price = 102; qty = 4 });
+  step (Apps.Exchange.Replace { id = 2; price = Some 102; qty = 10 });
+  step (Apps.Exchange.Cancel { id = 1 });
+  step (Apps.Exchange.Cancel { id = 99 });
+  check_int "books agree at end" (Apps.Order_book.open_order_count real)
+    (Modelcheck.Model.Book.open_orders !model)
+
+(* --- history generation ---------------------------------------------------- *)
+
+let history_deterministic_and_mixed () =
+  let gen seed =
+    Modelcheck.History.generate ~clients:3 ~ops_per_client:20 (Sim.Rng.create seed)
+  in
+  check "same seed, same history" true (gen 5L = gen 5L);
+  check "different seed, different history" true (gen 5L <> gen 6L);
+  let h = gen 5L in
+  let s = Modelcheck.History.stats h in
+  check_int "all ops counted" 60 s.Modelcheck.History.h_ops;
+  check "all op kinds exercised" true
+    (s.Modelcheck.History.h_puts > 0
+    && s.Modelcheck.History.h_gets > 0
+    && s.Modelcheck.History.h_deletes > 0);
+  (* Request ids are per-client 1..N — the dedup identity the cluster
+     relies on. *)
+  List.iter
+    (fun client ->
+      List.iteri
+        (fun i (op : Workload.Chaos.scripted_op) ->
+          check_int "req ids sequential" (i + 1) op.Workload.Chaos.s_req)
+        client)
+    h
+
+(* --- conformance checker --------------------------------------------------- *)
+
+let rcd ?reply ~proc ~req ~inv ~res cmd =
+  {
+    Workload.Chaos.r_proc = proc;
+    r_req = req;
+    r_invoked = inv;
+    r_responded = res;
+    r_cmd = cmd;
+    r_reply = reply;
+  }
+
+let conformance_sequential_pass () =
+  let records =
+    [
+      rcd ~proc:1 ~req:1 ~inv:0 ~res:10
+        ~reply:Apps.Kv_store.Stored
+        (Apps.Kv_store.Put { key = "a"; value = "x" });
+      rcd ~proc:1 ~req:2 ~inv:20 ~res:30
+        ~reply:(Apps.Kv_store.Value "x")
+        (Apps.Kv_store.Get { key = "a" });
+      rcd ~proc:1 ~req:3 ~inv:40 ~res:50 ~reply:Apps.Kv_store.Deleted
+        (Apps.Kv_store.Delete { key = "a" });
+      rcd ~proc:1 ~req:4 ~inv:60 ~res:70 ~reply:Apps.Kv_store.Not_found
+        (Apps.Kv_store.Get { key = "a" });
+    ]
+  in
+  check "conformant" true (Modelcheck.Conformance.check records = None)
+
+let conformance_catches_lost_update () =
+  (* The injected-bug shape: a Put acked Stored whose value a later read
+     never observes. The register checker cannot fault the [Erase]-free
+     equivalent of this; the model checker must. *)
+  let records =
+    [
+      rcd ~proc:1 ~req:1 ~inv:0 ~res:10 ~reply:Apps.Kv_store.Stored
+        (Apps.Kv_store.Put { key = "a"; value = "x" });
+      rcd ~proc:1 ~req:2 ~inv:20 ~res:30 ~reply:Apps.Kv_store.Not_found
+        (Apps.Kv_store.Get { key = "a" });
+    ]
+  in
+  match Modelcheck.Conformance.check records with
+  | None -> Alcotest.fail "lost update not caught"
+  | Some w ->
+    check_str "witness key" "a" w.Modelcheck.Conformance.ckey;
+    check_int "witness is the minimal pair" 2
+      (List.length w.Modelcheck.Conformance.cops)
+
+let conformance_delete_reply_semantics () =
+  (* [Deleted] asserts the key existed: with no possible prior value, the
+     reply is non-conformant even though as an abstract register erase it
+     would pass. *)
+  let records =
+    [
+      rcd ~proc:1 ~req:1 ~inv:0 ~res:10 ~reply:Apps.Kv_store.Deleted
+        (Apps.Kv_store.Delete { key = "a" });
+    ]
+  in
+  check "deleted-without-put caught" true
+    (Modelcheck.Conformance.check records <> None)
+
+let conformance_concurrency_flexible () =
+  (* A read overlapping a put may order either side of it. *)
+  let records =
+    [
+      rcd ~proc:1 ~req:1 ~inv:0 ~res:100 ~reply:Apps.Kv_store.Stored
+        (Apps.Kv_store.Put { key = "a"; value = "x" });
+      rcd ~proc:2 ~req:1 ~inv:10 ~res:90 ~reply:Apps.Kv_store.Not_found
+        (Apps.Kv_store.Get { key = "a" });
+      rcd ~proc:3 ~req:1 ~inv:10 ~res:95
+        ~reply:(Apps.Kv_store.Value "x")
+        (Apps.Kv_store.Get { key = "a" });
+    ]
+  in
+  check "both orders admitted" true (Modelcheck.Conformance.check records = None)
+
+let conformance_pending_write_harmless () =
+  (* An unanswered put may be linearized last, so it can never manufacture
+     a violation on its own. *)
+  let records =
+    [
+      rcd ~proc:1 ~req:1 ~inv:0 ~res:max_int
+        (Apps.Kv_store.Put { key = "a"; value = "x" });
+      rcd ~proc:2 ~req:1 ~inv:5 ~res:20 ~reply:Apps.Kv_store.Not_found
+        (Apps.Kv_store.Get { key = "a" });
+    ]
+  in
+  check "pending write placed last" true
+    (Modelcheck.Conformance.check records = None)
+
+(* --- linearizability witness (workload layer) ------------------------------ *)
+
+let lin_op ~proc ~inv ~res ~key kind =
+  { Workload.Linearizability.proc; invoked = inv; responded = res; key; kind }
+
+let witness_minimal_counterexample () =
+  (* Three ops of noise around a two-op violation: witness keeps the pair. *)
+  let ops =
+    [
+      lin_op ~proc:1 ~inv:0 ~res:10 ~key:"a" (Workload.Linearizability.Write "x");
+      lin_op ~proc:1 ~inv:20 ~res:30 ~key:"b" (Workload.Linearizability.Write "y");
+      lin_op ~proc:2 ~inv:40 ~res:50 ~key:"b"
+        (Workload.Linearizability.Read (Some "y"));
+      lin_op ~proc:2 ~inv:60 ~res:70 ~key:"a" (Workload.Linearizability.Read None);
+      lin_op ~proc:2 ~inv:80 ~res:90 ~key:"a"
+        (Workload.Linearizability.Read (Some "x"));
+    ]
+  in
+  check "history fails" false (Workload.Linearizability.check ops);
+  match Workload.Linearizability.witness ops with
+  | None -> Alcotest.fail "no witness for failing history"
+  | Some w ->
+    check_str "failing key" "a" w.Workload.Linearizability.wkey;
+    (* The minimizer drops the trailing Read (Some x): the acked write
+       plus the read that misses it is already a counterexample. *)
+    check_int "minimal size" 2 (List.length w.Workload.Linearizability.wops);
+    check "witness itself fails" false
+      (Workload.Linearizability.check w.Workload.Linearizability.wops);
+    check "passing history has no witness" true
+      (Workload.Linearizability.witness
+         [
+           lin_op ~proc:1 ~inv:0 ~res:10 ~key:"a"
+             (Workload.Linearizability.Write "x");
+         ]
+      = None)
+
+let witness_erase_semantics () =
+  (* Erase then read-none is fine; read of the erased value after the
+     erase's response is not. *)
+  let ok =
+    [
+      lin_op ~proc:1 ~inv:0 ~res:10 ~key:"a" (Workload.Linearizability.Write "x");
+      lin_op ~proc:1 ~inv:20 ~res:30 ~key:"a" Workload.Linearizability.Erase;
+      lin_op ~proc:1 ~inv:40 ~res:50 ~key:"a" (Workload.Linearizability.Read None);
+    ]
+  in
+  check "erase linearizable" true (Workload.Linearizability.check ok);
+  let bad =
+    [
+      lin_op ~proc:1 ~inv:0 ~res:10 ~key:"a" (Workload.Linearizability.Write "x");
+      lin_op ~proc:1 ~inv:20 ~res:30 ~key:"a" Workload.Linearizability.Erase;
+      lin_op ~proc:1 ~inv:40 ~res:50 ~key:"a"
+        (Workload.Linearizability.Read (Some "x"));
+    ]
+  in
+  check "read after erase rejected" false (Workload.Linearizability.check bad)
+
+(* --- scripted chaos runs --------------------------------------------------- *)
+
+let op think req cmd = { Workload.Chaos.s_think = think; s_req = req; s_cmd = cmd }
+
+let scripted_run_records_replies () =
+  let script =
+    [
+      [
+        op 0 1 (Apps.Kv_store.Put { key = "a"; value = "x" });
+        op 100_000 2 (Apps.Kv_store.Get { key = "a" });
+        op 0 3 (Apps.Kv_store.Delete { key = "a" });
+      ];
+      [ op 50_000 1 (Apps.Kv_store.Get { key = "b" }) ];
+    ]
+  in
+  let scenario = { Faults.Scenario.name = "none"; events = [] } in
+  let o = Workload.Chaos.run ~script ~seed:3L ~n:3 scenario in
+  check "completed" true o.Workload.Chaos.completed;
+  check_int "every op recorded" 4 (List.length o.Workload.Chaos.record);
+  check "every op answered" true
+    (List.for_all
+       (fun (r : Workload.Chaos.recorded) -> r.r_reply <> None)
+       o.Workload.Chaos.record);
+  check "record sorted by invocation" true
+    (let rec sorted = function
+       | (a : Workload.Chaos.recorded) :: (b : Workload.Chaos.recorded) :: rest
+         ->
+         (a.r_invoked, a.r_proc) <= (b.r_invoked, b.r_proc)
+         && sorted (b :: rest)
+       | _ -> true
+     in
+     sorted o.Workload.Chaos.record);
+  let verdict, _ = Modelcheck.Conformance.judge o in
+  check "fault-free run conformant" true (verdict = Modelcheck.Conformance.Pass)
+
+let scripted_run_deterministic () =
+  let script =
+    [ [ op 0 1 (Apps.Kv_store.Put { key = "a"; value = "x" }) ] ]
+  in
+  let scenario = Faults.Scenario.crash_leader ~n:3 in
+  let r () = Workload.Chaos.run ~script ~seed:9L ~n:3 scenario in
+  check "same seed, same record" true
+    ((r ()).Workload.Chaos.record = (r ()).Workload.Chaos.record)
+
+let crash_leader_scripted_conformant () =
+  let history =
+    Modelcheck.History.generate ~clients:2 ~ops_per_client:6 ~think_max:4_000_000
+      (Sim.Rng.create 17L)
+  in
+  let t =
+    {
+      Modelcheck.Shrink.t_seed = 17L;
+      t_n = 3;
+      t_inject = 0;
+      t_scenario = Faults.Scenario.crash_leader ~n:3;
+      t_history = history;
+    }
+  in
+  let r = Modelcheck.Shrink.run t in
+  check "conformant across fail-over" true
+    (r.Modelcheck.Shrink.verdict = Modelcheck.Conformance.Pass)
+
+let rejoin_survives_minority_self_claimant () =
+  (* Regression for a liveness bug this harness found: an isolated
+     minority replica elects itself and keeps the Leader role forever
+     (nothing heals the partition), so [serving_leader] saw two running
+     claimants and returned [None] — starving a concurrent rejoin until
+     the harness gave up, with the restored log stuck at applied=0 <
+     fuo=1 over a recycled slot ("hole below the FUO"). The minimized
+     bundle is embedded verbatim; the run must now pass, with replica 1
+     reaching parity. *)
+  let bundle_json =
+    {|{"schema":"mu-verify-repro/1","seed":"-4476619285473380616","n":5,"inject":0,"scenario":{"name":"random-4","events":[{"at":5086597,"action":"partition","a":[3],"b":[0,1,2,4]},{"at":25057667,"action":"stop_process","pid":1},{"at":29714380,"action":"restart","pid":1}]},"history":[[{"think":793592,"req":1,"cmd":{"op":"put","key":"b","value":"v1.1"}}]],"verdict":"invariant-violation"}|}
+  in
+  match Modelcheck.Repro.of_string bundle_json with
+  | Error e -> Alcotest.fail e
+  | Ok bundle ->
+    let r = Modelcheck.Shrink.run bundle.Modelcheck.Repro.b_triple in
+    check "run passes" true
+      (r.Modelcheck.Shrink.verdict = Modelcheck.Conformance.Pass);
+    check_int "replica 1 rejoined" 1
+      (List.length r.Modelcheck.Shrink.outcome.Workload.Chaos.rejoins)
+
+(* --- sweep, injected bug, shrinking ---------------------------------------- *)
+
+let fault_free_like_sweep_passes () =
+  let report =
+    Modelcheck.Verify.sweep ~cases:4 ~ns:[ 3 ] ~clients:2 ~ops_per_client:5
+      ~seed:23L ()
+  in
+  check_int "all cases pass" 0 report.Modelcheck.Verify.failed;
+  check "no bundle emitted" true (report.Modelcheck.Verify.minimized = None);
+  check_int "coverage covers every case" 4
+    report.Modelcheck.Verify.coverage.Faults.Scenario.scenarios;
+  check "op mix recorded" true
+    (report.Modelcheck.Verify.op_stats.Modelcheck.History.h_ops = 4 * 2 * 5)
+
+let injected_bug_caught_and_shrunk () =
+  (* The self-test (DESIGN.md §19): with every 3rd Put silently lost by
+     all replicas, invariants stay green but a generated case must catch
+     the stale read and shrink to a tiny repro. *)
+  let report =
+    Modelcheck.Verify.sweep ~cases:3 ~ns:[ 3 ] ~clients:2 ~ops_per_client:6
+      ~inject:3 ~budget:600 ~seed:41L ()
+  in
+  check "bug caught" true (report.Modelcheck.Verify.failed > 0);
+  match report.Modelcheck.Verify.minimized with
+  | None -> Alcotest.fail "no minimized bundle"
+  | Some (bundle, shrunk) ->
+    check "shrink reached fixpoint" false shrunk.Modelcheck.Shrink.exhausted;
+    check "minimized still fails" true
+      (Modelcheck.Conformance.failing bundle.Modelcheck.Repro.b_verdict);
+    let t = bundle.Modelcheck.Repro.b_triple in
+    check "<= 6 ops" true (Modelcheck.Shrink.ops t <= 6);
+    check "<= 2 fault actions" true
+      (List.length t.Modelcheck.Shrink.t_scenario.Faults.Scenario.events <= 2);
+    (* Re-running the minimized triple independently still fails. *)
+    let r = Modelcheck.Shrink.run t in
+    check "independent rerun fails" true
+      (Modelcheck.Conformance.failing r.Modelcheck.Shrink.verdict)
+
+let shrink_deterministic () =
+  (* Same failing triple, shrunk twice, must yield byte-identical
+     bundles. *)
+  let go () =
+    let report =
+      Modelcheck.Verify.sweep ~cases:1 ~ns:[ 3 ] ~clients:2 ~ops_per_client:6
+        ~inject:1 ~budget:600 ~seed:7L ()
+    in
+    match report.Modelcheck.Verify.minimized with
+    | Some (bundle, _) -> Modelcheck.Repro.to_string bundle
+    | None -> Alcotest.fail "expected a failure with inject=1"
+  in
+  check_str "same minimized bundle" (go ()) (go ())
+
+let passing_triple_rejected_by_shrinker () =
+  let t =
+    {
+      Modelcheck.Shrink.t_seed = 5L;
+      t_n = 3;
+      t_inject = 0;
+      t_scenario = { Faults.Scenario.name = "none"; events = [] };
+      t_history = [ [ op 0 1 (Apps.Kv_store.Put { key = "a"; value = "x" }) ] ];
+    }
+  in
+  let r = Modelcheck.Shrink.run t in
+  check "triple passes" true (r.Modelcheck.Shrink.verdict = Modelcheck.Conformance.Pass);
+  check "shrinker refuses passing triple" true
+    (try
+       ignore (Modelcheck.Shrink.shrink t r);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- repro bundle codec ---------------------------------------------------- *)
+
+let sample_bundle () =
+  {
+    Modelcheck.Repro.b_triple =
+      {
+        Modelcheck.Shrink.t_seed = -3721L;
+        t_n = 3;
+        t_inject = 3;
+        t_scenario = Faults.Scenario.kill_restart ~n:3;
+        t_history =
+          [
+            [
+              op 0 1 (Apps.Kv_store.Put { key = "a"; value = "v1.1" });
+              op 250_000 2 (Apps.Kv_store.Get { key = "a" });
+            ];
+            [ op 10 1 (Apps.Kv_store.Delete { key = "b" }) ];
+          ];
+      };
+    b_verdict = Modelcheck.Conformance.Not_conformant;
+  }
+
+let repro_roundtrip () =
+  let b = sample_bundle () in
+  let s = Modelcheck.Repro.to_string b in
+  match Modelcheck.Repro.of_string s with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok b' ->
+    check "structural roundtrip" true (b = b');
+    check_str "byte-stable reprint" s (Modelcheck.Repro.to_string b');
+    check "rejects unknown schema" true
+      (Result.is_error
+         (Modelcheck.Repro.of_string {|{"schema":"mu-verify-repro/999"}|}))
+
+let repro_golden_byte_stable () =
+  (* The committed bundle must parse and re-print to the identical bytes:
+     any codec drift breaks CI's byte-compare replay of old repros. *)
+  let ic = open_in_bin "golden/verify_repro.json" in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Modelcheck.Repro.of_string s with
+  | Error e -> Alcotest.failf "golden bundle does not parse: %s" e
+  | Ok b -> check_str "golden bytes stable" s (Modelcheck.Repro.to_string b)
+
+let replay_reemits_bundle () =
+  let report =
+    Modelcheck.Verify.sweep ~cases:1 ~ns:[ 3 ] ~clients:2 ~ops_per_client:6
+      ~inject:1 ~budget:600 ~seed:7L ()
+  in
+  match report.Modelcheck.Verify.minimized with
+  | None -> Alcotest.fail "expected a failure with inject=1"
+  | Some (bundle, _) ->
+    let r, bytes = Modelcheck.Verify.replay bundle in
+    check "replay verdict matches" true
+      (r.Modelcheck.Shrink.verdict = bundle.Modelcheck.Repro.b_verdict);
+    check_str "replay re-emits byte-identical bundle"
+      (Modelcheck.Repro.to_string bundle)
+      bytes
+
+(* --- coverage -------------------------------------------------------------- *)
+
+let sweep_coverage_no_silent_gaps () =
+  let c =
+    Faults.Scenario.coverage
+      [
+        Faults.Scenario.crash_leader ~n:3;
+        Faults.Scenario.partition_leader ~n:3;
+        Faults.Scenario.kill_restart ~n:3;
+      ]
+  in
+  check_int "scenarios counted" 3 c.Faults.Scenario.scenarios;
+  (* Every action kind is present, exercised or not. *)
+  check_int "all kinds listed" 13 (List.length c.Faults.Scenario.action_counts);
+  check "zeros are explicit" true
+    (List.exists (fun (_, n) -> n = 0) c.Faults.Scenario.action_counts);
+  check "partition shape recorded" true
+    (List.mem_assoc "1|2" c.Faults.Scenario.partition_shapes);
+  check_int "one crash" 1 c.Faults.Scenario.crashes;
+  check_int "one restart" 1 c.Faults.Scenario.restarts;
+  check "restart fraction" true (Faults.Scenario.restart_fraction c = 1.0)
+
+let chaos_sweep_reports_coverage () =
+  let s = Workload.Chaos.sweep ~count:2 ~ns:[ 3 ] ~seed:3L () in
+  check_int "coverage spans the sweep" 2
+    s.Workload.Chaos.coverage.Faults.Scenario.scenarios;
+  check_int "sweep ran" 2 s.Workload.Chaos.runs
+
+let suite =
+  [
+    ("kv model semantics", `Quick, kv_model_semantics);
+    ("book model matches engine", `Quick, book_model_matches_engine);
+    ("book model replace rules", `Quick, book_model_replace_rules);
+    ("history generator", `Quick, history_deterministic_and_mixed);
+    ("conformance: sequential pass", `Quick, conformance_sequential_pass);
+    ("conformance: lost update caught", `Quick, conformance_catches_lost_update);
+    ("conformance: delete reply semantics", `Quick, conformance_delete_reply_semantics);
+    ("conformance: concurrency flexible", `Quick, conformance_concurrency_flexible);
+    ("conformance: pending write harmless", `Quick, conformance_pending_write_harmless);
+    ("lin witness: minimal counterexample", `Quick, witness_minimal_counterexample);
+    ("lin witness: erase semantics", `Quick, witness_erase_semantics);
+    ("scripted run records replies", `Quick, scripted_run_records_replies);
+    ("scripted run deterministic", `Quick, scripted_run_deterministic);
+    ("crash-leader scripted conformant", `Quick, crash_leader_scripted_conformant);
+    ("rejoin survives minority self-claimant", `Quick,
+      rejoin_survives_minority_self_claimant);
+    ("fault-free sweep passes", `Quick, fault_free_like_sweep_passes);
+    ("injected bug caught and shrunk", `Slow, injected_bug_caught_and_shrunk);
+    ("shrink deterministic", `Slow, shrink_deterministic);
+    ("passing triple rejected by shrinker", `Quick, passing_triple_rejected_by_shrinker);
+    ("repro roundtrip", `Quick, repro_roundtrip);
+    ("repro golden byte stable", `Quick, repro_golden_byte_stable);
+    ("replay re-emits bundle", `Slow, replay_reemits_bundle);
+    ("scenario coverage explicit", `Quick, sweep_coverage_no_silent_gaps);
+    ("chaos sweep coverage", `Quick, chaos_sweep_reports_coverage);
+  ]

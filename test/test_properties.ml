@@ -603,6 +603,7 @@ let lin_checker_matches_bruteforce =
           | o :: rest -> (
             match o.Workload.Linearizability.kind with
             | Workload.Linearizability.Write v -> go (Some v) rest
+            | Workload.Linearizability.Erase -> go None rest
             | Workload.Linearizability.Read observed -> observed = state && go state rest)
         in
         go None seq
